@@ -1,0 +1,81 @@
+"""X1/X2 — benches for the future-work extensions.
+
+X1: power management (DVFS) — energy saved by the speed-diagram controller
+    against always-max-frequency, with zero deadline misses.
+X2: linear-constraint approximation of relaxation regions — table shrinkage
+    against relaxation opportunities retained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import QualityManagerCompiler, audit_trace, run_cycle, run_fixed_quality
+from repro.extensions import (
+    DvfsTask,
+    FrequencyScale,
+    LinearRelaxationQualityManager,
+    LinearRelaxationTable,
+    build_dvfs_system,
+    energy_of_outcome,
+)
+
+
+def bench_power_management_energy(benchmark):
+    """X1: DVFS controller energy vs. the always-max-frequency baseline."""
+    scale = FrequencyScale(frequencies=(150e6, 250e6, 400e6, 600e6, 800e6))
+    task = DvfsTask.synthetic(300, seed=3, utilisation=0.55, max_frequency=800e6)
+    system, deadlines = build_dvfs_system(task, scale, seed=3)
+    controllers = QualityManagerCompiler().compile(system, deadlines)
+
+    def run_comparison():
+        rng = np.random.default_rng(1)
+        scenarios = [system.draw_scenario(rng) for _ in range(5)]
+        managed_energy = 0.0
+        baseline_energy = 0.0
+        misses = 0
+        for scenario in scenarios:
+            managed = run_cycle(system, controllers.relaxation, scenario=scenario)
+            baseline = run_fixed_quality(system, 0, scenario=scenario)
+            managed_energy += energy_of_outcome(managed, scale)
+            baseline_energy += energy_of_outcome(baseline, scale)
+            if not audit_trace(managed, deadlines).is_safe:
+                misses += 1
+        return managed_energy, baseline_energy, misses
+
+    managed_energy, baseline_energy, misses = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+    assert misses == 0
+    assert managed_energy < baseline_energy * 0.8  # at least 20 % energy saved
+    benchmark.extra_info["managed_energy_j"] = round(managed_energy, 4)
+    benchmark.extra_info["max_frequency_energy_j"] = round(baseline_energy, 4)
+    benchmark.extra_info["saving_pct"] = round(
+        100.0 * (1.0 - managed_energy / baseline_energy), 1
+    )
+
+
+def bench_linear_relaxation_approximation(benchmark, paper_controllers, paper_system, paper_deadlines):
+    """X2: affine approximation of the relaxation tables at paper scale."""
+    exact = paper_controllers.relaxation.relaxation
+
+    linear = benchmark.pedantic(LinearRelaxationTable, args=(exact,), rounds=1, iterations=1)
+
+    manager = LinearRelaxationQualityManager(paper_controllers.region.regions, linear)
+    scenario = paper_system.draw_scenario(np.random.default_rng(0))
+    reference = run_cycle(paper_system, paper_controllers.numeric, scenario=scenario)
+    approximated = run_cycle(paper_system, manager, scenario=scenario)
+    exact_run = run_cycle(paper_system, paper_controllers.relaxation, scenario=scenario)
+
+    assert np.array_equal(approximated.qualities, reference.qualities)
+    assert audit_trace(approximated, paper_deadlines).is_safe
+    exact_integers = exact.memory_footprint().integers
+    approx_integers = linear.memory_footprint().integers
+    assert approx_integers * 100 < exact_integers
+
+    benchmark.extra_info["exact_table_integers"] = exact_integers
+    benchmark.extra_info["linear_table_integers"] = approx_integers
+    benchmark.extra_info["exact_manager_calls"] = int(exact_run.manager_invocations.shape[0])
+    benchmark.extra_info["linear_manager_calls"] = int(
+        approximated.manager_invocations.shape[0]
+    )

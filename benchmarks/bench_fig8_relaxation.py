@@ -1,0 +1,40 @@
+"""E4 — Figure 8: per-action overhead with and without control relaxation.
+
+Paper: for actions a200..a700 of one frame, the no-relaxation manager pays a
+roughly constant per-action cost while the relaxation manager's cost is zero
+for long stretches; the relaxation step count adapts dynamically along the
+frame (the paper observes r = 40, 1 and 10).  The benchmark regenerates the
+window series at paper scale and asserts those shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import PAPER_REFERENCE, run_fig8_experiment
+
+
+def bench_fig8_per_action_overhead_window(benchmark, paper_workload):
+    """Regenerate the Figure 8 window (actions a200..a700 of one frame)."""
+    result = benchmark.pedantic(
+        run_fig8_experiment,
+        kwargs={"workload": paper_workload, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.first_action == PAPER_REFERENCE.fig8_first_action
+    assert result.last_action == PAPER_REFERENCE.fig8_last_action
+    # without relaxation: one constant-cost call before every action
+    assert np.all(result.region_overhead > 0.0)
+    # with relaxation: most actions carry zero management overhead
+    assert float(np.mean(result.relaxation_overhead == 0.0)) > 0.5
+    # the total overhead over the window shrinks by a large factor
+    assert result.overhead_reduction_factor > 3.0
+    # the relaxation step count adapts dynamically (several distinct values)
+    assert len(result.distinct_step_counts) >= 2
+
+    benchmark.extra_info["region_window_ms"] = round(1e3 * result.region_total, 3)
+    benchmark.extra_info["relaxation_window_ms"] = round(1e3 * result.relaxation_total, 3)
+    benchmark.extra_info["reduction_factor"] = round(result.overhead_reduction_factor, 1)
+    benchmark.extra_info["step_counts_in_window"] = result.distinct_step_counts
+    benchmark.extra_info["paper_observed_steps"] = list(PAPER_REFERENCE.fig8_observed_steps)

@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the per-invocation Quality Manager cost.
+
+This is the mechanism behind the paper's overhead table: the numeric manager
+re-evaluates the policy constraint over the remaining actions on every call,
+while the symbolic managers only compare the clock against pre-computed
+bounds.  Measured here as actual Python call latency at paper scale (1,189
+actions, 7 levels) — the simulated platform costs are covered by
+``bench_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import MixedPolicy, compute_td_table
+
+
+def bench_numeric_manager_decide(benchmark, paper_controllers):
+    """One numeric-manager decision near the start of the cycle."""
+    manager = paper_controllers.numeric
+    decision = benchmark(manager.decide, 10, 0.3)
+    assert decision.steps == 1
+    benchmark.extra_info["modelled_ops"] = decision.work.arithmetic_ops
+
+
+def bench_region_manager_decide(benchmark, paper_controllers):
+    """One region-manager decision (table lookup + comparisons)."""
+    manager = paper_controllers.region
+    decision = benchmark(manager.decide, 10, 0.3)
+    assert decision.steps == 1
+    benchmark.extra_info["modelled_lookups"] = decision.work.table_lookups
+
+
+def bench_relaxation_manager_decide(benchmark, paper_controllers):
+    """One relaxation-manager decision (region lookup + step-count lookup)."""
+    manager = paper_controllers.relaxation
+    decision = benchmark(manager.decide, 10, 0.3)
+    assert decision.steps >= 1
+    benchmark.extra_info["granted_steps"] = decision.steps
+
+
+def bench_online_td_recomputation(benchmark, paper_system, paper_deadlines):
+    """The work the numeric manager's implementation stands for: recomputing
+    the whole t^D column set from scratch (the paper's off-line tool does this
+    once; the on-line numeric manager does an incremental version per call)."""
+    policy = MixedPolicy()
+
+    def recompute():
+        return compute_td_table(paper_system, paper_deadlines, policy)
+
+    table = benchmark(recompute)
+    assert table.n_states == paper_system.n_actions
+
+
+def bench_full_cycle_region_manager(benchmark, paper_system, paper_deadlines, paper_controllers):
+    """Simulation throughput: one full 1,189-action cycle under the region manager."""
+    from repro.core import run_cycle
+
+    scenario = paper_system.draw_scenario(np.random.default_rng(0))
+
+    outcome = benchmark(run_cycle, paper_system, paper_controllers.region, scenario=scenario)
+    assert outcome.n_actions == paper_system.n_actions

@@ -1,0 +1,37 @@
+"""E2 — §4.2 overhead table: execution-time overhead of the three managers.
+
+Paper (29-frame CIF sequence on the iPod): numeric 5.7 %, symbolic with
+quality regions 1.9 %, symbolic with control relaxation < 1.1 %.  The
+benchmark runs the three managers over the full 29-frame sequence on the
+iPod-like virtual platform (identical scenarios) and records the measured
+percentages.  The asserted *shape*: strict ordering numeric > region >
+relaxation, all managers safe, with the numeric/relaxation gap at least 2x.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import PAPER_REFERENCE, run_overhead_experiment
+
+
+def bench_overhead_three_managers_29_frames(benchmark, paper_workload):
+    """Full paper-scale overhead comparison (29 frames, 3 managers)."""
+    result = benchmark.pedantic(
+        run_overhead_experiment,
+        kwargs={"workload": paper_workload, "n_frames": paper_workload.n_frames, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    percentages = result.overhead_percentages
+    assert result.ordering_matches_paper
+    assert result.all_safe
+    assert percentages["numeric"] > 2.0 * percentages["relaxation"]
+
+    benchmark.extra_info["overhead_numeric_pct"] = round(percentages["numeric"], 2)
+    benchmark.extra_info["overhead_region_pct"] = round(percentages["region"], 2)
+    benchmark.extra_info["overhead_relaxation_pct"] = round(percentages["relaxation"], 2)
+    benchmark.extra_info["paper_numeric_pct"] = PAPER_REFERENCE.overhead_numeric_pct
+    benchmark.extra_info["paper_region_pct"] = PAPER_REFERENCE.overhead_region_pct
+    benchmark.extra_info["paper_relaxation_pct"] = PAPER_REFERENCE.overhead_relaxation_pct
+    benchmark.extra_info["manager_calls"] = {
+        name: metric.manager_calls for name, metric in result.metrics.items()
+    }

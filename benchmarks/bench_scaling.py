@@ -1,0 +1,55 @@
+"""Scaling benches: pre-computation and control cost across frame formats.
+
+The paper notes the macroblock count ranges from 396 (CIF) up to 1,620 (SD).
+These benches measure how the symbolic pre-computation and the per-cycle
+control cost scale with the number of actions per cycle, from QCIF (298
+actions) to SD (4,861 actions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QualityManagerCompiler, run_cycle
+from repro.media import CIF, QCIF, SD, EncoderWorkload
+
+
+def _workload_for(video_format) -> EncoderWorkload:
+    deadline_by_format = {"QCIF": 8.0, "CIF": 30.0, "SD": 125.0}
+    return EncoderWorkload(
+        video_format=video_format,
+        deadline=deadline_by_format[video_format.name],
+        n_frames=2,
+        seed=0,
+    )
+
+
+@pytest.mark.parametrize("video_format", [QCIF, CIF, SD], ids=lambda f: f.name)
+def bench_symbolic_precomputation_scaling(benchmark, video_format):
+    """Compilation time of the symbolic controllers per frame format."""
+    workload = _workload_for(video_format)
+    system = workload.build_system()
+    deadlines = workload.deadlines()
+    compiler = QualityManagerCompiler()
+
+    controllers = benchmark.pedantic(
+        compiler.compile, args=(system, deadlines), rounds=1, iterations=1
+    )
+    benchmark.extra_info["actions_per_cycle"] = system.n_actions
+    benchmark.extra_info["region_integers"] = controllers.report.region_integers
+    benchmark.extra_info["relaxation_integers"] = controllers.report.relaxation_integers
+
+
+@pytest.mark.parametrize("video_format", [QCIF, CIF], ids=lambda f: f.name)
+def bench_cycle_execution_scaling(benchmark, video_format):
+    """One controlled cycle (relaxation manager) per frame format."""
+    workload = _workload_for(video_format)
+    system = workload.build_system()
+    deadlines = workload.deadlines()
+    controllers = QualityManagerCompiler().compile(system, deadlines)
+    scenario = system.draw_scenario(np.random.default_rng(0))
+
+    outcome = benchmark(run_cycle, system, controllers.relaxation, scenario=scenario)
+    assert outcome.n_actions == system.n_actions
+    benchmark.extra_info["manager_calls"] = int(outcome.manager_invocations.shape[0])

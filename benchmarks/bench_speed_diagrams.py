@@ -1,0 +1,43 @@
+"""E5 — Figures 3–6: speed-diagram geometry and Proposition 1 verification.
+
+The conceptual figures are regenerated as data: the trajectory of an encoded
+frame in the speed diagram, the quality-region borders and the relaxation
+bounds, together with a numeric verification of Proposition 1 over a grid of
+sampled states.  The benchmark times the generation and asserts that the two
+characterisations (speeds vs. constraint) agree everywhere sampled.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_diagram_experiment
+from repro.media import small_encoder
+
+
+def bench_speed_diagram_generation_and_prop1(benchmark):
+    """Generate trajectory, region borders and verify Proposition 1."""
+    workload = small_encoder(seed=0)
+    result = benchmark.pedantic(
+        run_diagram_experiment,
+        kwargs={"workload": workload, "seed": 0, "samples_per_state": 5},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.proposition1_holds
+    assert result.proposition1_checked > 500
+    assert len(result.region_borders) == 7
+    benchmark.extra_info["prop1_checked"] = result.proposition1_checked
+    benchmark.extra_info["prop1_agreements"] = result.proposition1_agreements
+
+
+def bench_speed_assessment_single_state(benchmark, paper_system, paper_deadlines, paper_controllers):
+    """Micro-benchmark: one Proposition 1 assessment at paper scale."""
+    from repro.core import SpeedDiagram
+
+    diagram = SpeedDiagram(
+        paper_system, paper_deadlines, td_table=paper_controllers.td_table
+    )
+    state = paper_system.n_actions // 2
+    time = paper_deadlines.final_deadline * 0.45
+
+    assessment = benchmark(diagram.assess, state, time, 3)
+    assert assessment.proposition1_agrees

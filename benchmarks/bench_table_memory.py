@@ -1,0 +1,37 @@
+"""E1 — §4.1 memory table: symbolic table sizes and pre-computation cost.
+
+Paper: quality regions are characterised by ``|A|*|Q| = 8,323`` integers and
+control relaxation regions by ``2*|A|*|Q|*|ρ| = 99,876`` integers for the
+encoder.  The benchmark times the whole compilation (the role of the paper's
+Matlab/Simulink tool) and asserts the exact integer counts.
+"""
+
+from __future__ import annotations
+
+from repro.core import QualityManagerCompiler
+from repro.experiments import PAPER_REFERENCE, run_memory_experiment
+
+
+def bench_compile_symbolic_controllers(benchmark, paper_system, paper_deadlines):
+    """Time the full symbolic pre-computation for the 1,189-action encoder."""
+    compiler = QualityManagerCompiler()
+
+    controllers = benchmark(compiler.compile, paper_system, paper_deadlines)
+
+    report = controllers.report
+    assert report.region_integers == PAPER_REFERENCE.region_integers == 8_323
+    assert report.relaxation_integers == PAPER_REFERENCE.relaxation_integers == 99_876
+    benchmark.extra_info["region_integers"] = report.region_integers
+    benchmark.extra_info["relaxation_integers"] = report.relaxation_integers
+    benchmark.extra_info["region_kib"] = round(report.region_footprint.kilobytes, 1)
+    benchmark.extra_info["relaxation_kib"] = round(report.relaxation_footprint.kilobytes, 1)
+    benchmark.extra_info["paper_region_integers"] = PAPER_REFERENCE.region_integers
+    benchmark.extra_info["paper_relaxation_integers"] = PAPER_REFERENCE.relaxation_integers
+
+
+def bench_memory_experiment_report(benchmark):
+    """Run the E1 experiment module end to end (compile + report rendering)."""
+    result = benchmark.pedantic(run_memory_experiment, rounds=1, iterations=1)
+    assert result.region_matches_paper
+    assert result.relaxation_matches_paper
+    benchmark.extra_info["render"] = result.render().splitlines()[-2:]

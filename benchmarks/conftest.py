@@ -1,0 +1,54 @@
+"""Benchmark configuration: paper-scale fixtures shared across benches.
+
+The benchmark suite regenerates every table and figure of the paper's
+evaluation (Section 4) at paper scale — the CIF encoder with 1,189 actions
+per frame — plus the ablation studies called out in DESIGN.md.  Heavy
+end-to-end experiments run a single round (they are measurements of the
+reproduced system, not micro-benchmarks); the micro-benchmarks of the
+per-call manager cost use normal pytest-benchmark statistics.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_HERE = Path(__file__).resolve().parent
+_ROOT = _HERE.parent
+for path in (str(_ROOT / "src"), str(_ROOT / "tests")):
+    if path not in sys.path:  # pragma: no cover - environment dependent
+        sys.path.insert(0, path)
+
+from repro.core import QualityManagerCompiler  # noqa: E402
+from repro.media import paper_encoder, small_encoder  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def paper_workload():
+    """The paper's experimental workload (§4.1): CIF, 1,189 actions, 7 levels."""
+    return paper_encoder(seed=0)
+
+
+@pytest.fixture(scope="session")
+def paper_system(paper_workload):
+    """The compiled paper-scale parameterized system."""
+    return paper_workload.build_system()
+
+@pytest.fixture(scope="session")
+def paper_deadlines(paper_workload):
+    """The 30 s per-frame deadline function."""
+    return paper_workload.deadlines()
+
+
+@pytest.fixture(scope="session")
+def paper_controllers(paper_system, paper_deadlines):
+    """The three compiled Quality Managers for the paper-scale encoder."""
+    return QualityManagerCompiler().compile(paper_system, paper_deadlines)
+
+
+@pytest.fixture(scope="session")
+def fast_workload():
+    """A QCIF workload for benches where paper scale would be gratuitous."""
+    return small_encoder(seed=0, n_frames=6)

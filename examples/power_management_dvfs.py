@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Power management with speed diagrams (the paper's future-work direction).
+
+Quality level is replaced by CPU frequency: the controller picks, before each
+job of a cyclic task, the lowest frequency that still guarantees the cycle
+deadline in the worst case — minimising energy without ever missing a
+deadline.  Compares against running everything at the maximum frequency and
+against a race-to-idle-style static middle frequency.
+
+Run with ``python examples/power_management_dvfs.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import QualityManagerCompiler, audit_trace, run_cycle, run_fixed_quality
+from repro.extensions import DvfsTask, FrequencyScale, build_dvfs_system, energy_of_outcome
+
+
+def main() -> None:
+    scale = FrequencyScale(frequencies=(200e6, 350e6, 500e6, 650e6, 800e6))
+    task = DvfsTask.synthetic(250, seed=11, utilisation=0.55, max_frequency=800e6)
+    system, deadlines = build_dvfs_system(task, scale, seed=11)
+    controllers = QualityManagerCompiler().compile(system, deadlines)
+
+    print(
+        f"task: {task.n_actions} jobs per cycle, deadline {task.deadline * 1e3:.1f} ms, "
+        f"frequencies {[f'{f/1e6:.0f}MHz' for f in scale.frequencies]}"
+    )
+
+    rng = np.random.default_rng(5)
+    n_cycles = 10
+    totals: dict[str, float] = {"managed": 0.0, "max-frequency": 0.0, "static-middle": 0.0}
+    misses: dict[str, int] = {key: 0 for key in totals}
+
+    for _ in range(n_cycles):
+        scenario = system.draw_scenario(rng)
+        runs = {
+            "managed": run_cycle(system, controllers.relaxation, scenario=scenario),
+            "max-frequency": run_fixed_quality(system, 0, scenario=scenario),
+            "static-middle": run_fixed_quality(system, len(scale.frequencies) // 2, scenario=scenario),
+        }
+        for name, outcome in runs.items():
+            totals[name] += energy_of_outcome(outcome, scale)
+            if not audit_trace(outcome, deadlines).is_safe:
+                misses[name] += 1
+
+    print(f"\nenergy over {n_cycles} cycles (lower is better):")
+    reference = totals["max-frequency"]
+    for name, energy in totals.items():
+        saving = 100.0 * (1.0 - energy / reference)
+        print(
+            f"  {name:14s} {energy:7.3f} J   saving vs max-frequency: {saving:5.1f} %   "
+            f"deadline misses: {misses[name]}"
+        )
+
+    managed = run_cycle(system, controllers.relaxation, rng=np.random.default_rng(0))
+    chosen_frequencies = [scale.frequency_of_level(int(level)) / 1e6 for level in managed.qualities]
+    print(
+        f"\nfrequencies chosen in one cycle: min {min(chosen_frequencies):.0f} MHz, "
+        f"mean {np.mean(chosen_frequencies):.0f} MHz, max {max(chosen_frequencies):.0f} MHz"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in
+environments without network access (legacy editable installs:
+``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Speed diagrams and symbolic quality management for soft/hard real-time "
+        "multimedia software (reproduction of Combaz et al., IPPS 2007)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

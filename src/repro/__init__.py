@@ -1,0 +1,40 @@
+"""repro — Speed diagrams and symbolic quality management.
+
+A Python reproduction of *"Using Speed Diagrams for Symbolic Quality
+Management"* (J. Combaz, J.-C. Fernandez, J. Sifakis, L. Strus — IPPS 2007).
+
+The library provides:
+
+* :mod:`repro.core` — the quality-management model: parameterized systems,
+  quality-management policies, the numeric Quality Manager, speed diagrams,
+  quality regions, control relaxation regions and the controller compiler.
+* :mod:`repro.platform` — a virtual execution platform: virtual clock,
+  overhead models for the different manager implementations, a profiler and
+  an executor that charges management overhead.
+* :mod:`repro.media` — a synthetic MPEG-like video encoder workload
+  generator reproducing the shape of the paper's 1,189-action encoder.
+* :mod:`repro.baselines` — quality/overload managers from related work used
+  as comparison points.
+* :mod:`repro.analysis` — metrics, speed-diagram rendering and report tables.
+* :mod:`repro.experiments` — one module per table/figure of the paper.
+* :mod:`repro.extensions` — the paper's future-work directions (power
+  management, multi-task control, linear region approximation).
+
+Quick start::
+
+    from repro.core import (DeadlineFunction, QualityManagerCompiler,
+                            ControlledSystem)
+    from repro.media import build_encoder_system
+
+    system = build_encoder_system(seed=0)
+    deadlines = DeadlineFunction.single(system.n_actions, 30.0)
+    controllers = QualityManagerCompiler().compile(system, deadlines)
+    controlled = ControlledSystem(system, deadlines, controllers.relaxation)
+    outcome = controlled.run_cycle()
+"""
+
+from . import core
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "__version__"]

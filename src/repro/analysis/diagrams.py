@@ -1,0 +1,132 @@
+"""Rendering speed diagrams and data series as text.
+
+The original figures are line plots; this module produces the same data as
+plain series (dictionaries of NumPy arrays, easy to dump to CSV or feed to a
+plotting tool) and renders quick ASCII views so examples and experiment
+scripts can show the geometry without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.speed import SpeedDiagram
+from repro.core.system import CycleOutcome
+
+__all__ = ["render_ascii_plot", "render_speed_diagram", "sparkline", "series_to_csv"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float] | np.ndarray, *, width: int | None = None) -> str:
+    """A one-line unicode sparkline of a numeric series."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        return ""
+    if width is not None and data.size > width:
+        # average-pool down to the requested width
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.array([data[a:b].mean() if b > a else data[min(a, data.size - 1)]
+                         for a, b in zip(edges[:-1], edges[1:])])
+    lo, hi = float(data.min()), float(data.max())
+    if hi - lo < 1e-12:
+        return _SPARK_CHARS[0] * data.size
+    scaled = (data - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[int(round(v))] for v in scaled)
+
+
+def render_ascii_plot(
+    series: Mapping[str, tuple[np.ndarray, np.ndarray]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render several (x, y) series on one ASCII canvas.
+
+    Each series gets the first character of its label as its glyph.  The plot
+    is intentionally rough — it exists to eyeball shapes (who is above whom,
+    where curves cross), not for publication.
+    """
+    if not series:
+        return "(no data)"
+    xs = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    finite = np.isfinite(xs) & np.isfinite(ys)
+    if not finite.any():
+        return "(no finite data)"
+    x_min, x_max = float(xs[finite].min()), float(xs[finite].max())
+    y_min, y_max = float(ys[finite].min()), float(ys[finite].max())
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for label, (x, y) in series.items():
+        glyph = label[0] if label else "*"
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        for xv, yv in zip(x, y):
+            if not (np.isfinite(xv) and np.isfinite(yv)):
+                continue
+            col = int((xv - x_min) / x_span * (width - 1))
+            row = height - 1 - int((yv - y_min) / y_span * (height - 1))
+            canvas[row][col] = glyph
+    lines = ["".join(row) for row in canvas]
+    legend = "  ".join(f"{label[0]}={label}" for label in series)
+    header = f"{y_label} (rows {y_min:.3g}..{y_max:.3g})  vs  {x_label} (cols {x_min:.3g}..{x_max:.3g})"
+    return "\n".join([header, *lines, legend])
+
+
+def render_speed_diagram(
+    diagram: SpeedDiagram,
+    outcome: CycleOutcome | None = None,
+    *,
+    qualities_to_show: Sequence[int] | None = None,
+    width: int = 72,
+    height: int = 24,
+) -> str:
+    """ASCII view of a speed diagram: diagonal, region borders, trajectory.
+
+    Reproduces the structure of Figures 3 and 4: the optimal diagonal, the
+    borders of the quality regions for a few levels, and (optionally) the
+    trajectory of an executed cycle.
+    """
+    series: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    diag = diagram.diagonal(points=64)
+    series["/diagonal"] = (diag["actual_time"], diag["virtual_time"])
+    levels = (
+        list(qualities_to_show)
+        if qualities_to_show is not None
+        else [diagram.system.qualities.minimum, diagram.system.qualities.maximum]
+    )
+    for level in levels:
+        border = diagram.region_border(level)
+        mask = np.isfinite(border["actual_time"]) & (border["actual_time"] >= 0)
+        series[f"{level}-border q{level}"] = (
+            border["actual_time"][mask],
+            border["virtual_time"][mask],
+        )
+    if outcome is not None:
+        trajectory = diagram.trajectory(outcome)
+        series["*trajectory"] = (trajectory["actual_time"], trajectory["virtual_time"])
+    return render_ascii_plot(
+        series, width=width, height=height, x_label="actual time t", y_label="virtual time y"
+    )
+
+
+def series_to_csv(series: Mapping[str, np.ndarray], *, separator: str = ",") -> str:
+    """Serialise equally-long named series into CSV text (header + rows)."""
+    if not series:
+        return ""
+    names = list(series)
+    columns = [np.asarray(series[name]).ravel() for name in names]
+    length = max(col.shape[0] for col in columns)
+    lines = [separator.join(names)]
+    for row in range(length):
+        cells = []
+        for col in columns:
+            cells.append(f"{col[row]:.9g}" if row < col.shape[0] else "")
+        lines.append(separator.join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Metrics over executed cycles.
+
+Quantifies the three QoS requirements of the paper — safety (deadline
+misses), optimality (utilisation of the time budget) and smoothness (quality
+fluctuation) — plus the management overhead the symbolic machinery targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.deadlines import DeadlineFunction
+from repro.core.system import CycleOutcome
+from repro.core.validation import audit_trace
+
+__all__ = ["QualityMetrics", "compute_metrics", "smoothness_index", "compare_outcomes"]
+
+
+def smoothness_index(qualities: np.ndarray) -> float:
+    """Mean absolute quality change between consecutive actions.
+
+    0 means perfectly constant quality; 1 means the level changes by a full
+    step on average at every action.  The paper requires "low fluctuation of
+    quality levels"; this is the standard way to quantify it.
+    """
+    if qualities.shape[0] < 2:
+        return 0.0
+    return float(np.abs(np.diff(qualities.astype(np.float64))).mean())
+
+
+@dataclass(frozen=True, slots=True)
+class QualityMetrics:
+    """Aggregate metrics of one or more executed cycles."""
+
+    n_cycles: int
+    n_actions: int
+    mean_quality: float
+    std_quality: float
+    min_quality: int
+    max_quality: int
+    smoothness: float
+    utilisation: float
+    deadline_misses: int
+    worst_lateness: float
+    overhead_seconds: float
+    overhead_fraction: float
+    manager_calls: int
+
+    @property
+    def is_safe(self) -> bool:
+        """True when no cycle missed a deadline."""
+        return self.deadline_misses == 0
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dictionary representation for report tables."""
+        return {
+            "cycles": self.n_cycles,
+            "mean_quality": round(self.mean_quality, 3),
+            "std_quality": round(self.std_quality, 3),
+            "smoothness": round(self.smoothness, 4),
+            "utilisation": round(self.utilisation, 4),
+            "deadline_misses": self.deadline_misses,
+            "overhead_pct": round(100.0 * self.overhead_fraction, 3),
+            "manager_calls": self.manager_calls,
+        }
+
+
+def compute_metrics(
+    outcomes: Iterable[CycleOutcome],
+    deadlines: DeadlineFunction,
+) -> QualityMetrics:
+    """Aggregate metrics over a collection of cycle traces."""
+    outcomes = list(outcomes)
+    if not outcomes:
+        raise ValueError("compute_metrics needs at least one cycle outcome")
+    all_qualities = np.concatenate([o.qualities for o in outcomes])
+    smooth = float(np.mean([smoothness_index(o.qualities) for o in outcomes]))
+    total_time = float(sum(o.makespan for o in outcomes))
+    total_overhead = float(sum(o.total_overhead for o in outcomes))
+    misses = 0
+    worst_lateness = 0.0
+    for outcome in outcomes:
+        audit = audit_trace(outcome, deadlines)
+        misses += len(audit.violations)
+        worst_lateness = max(worst_lateness, audit.worst_lateness)
+    budget = deadlines.final_deadline * len(outcomes)
+    return QualityMetrics(
+        n_cycles=len(outcomes),
+        n_actions=outcomes[0].n_actions,
+        mean_quality=float(all_qualities.mean()),
+        std_quality=float(all_qualities.std()),
+        min_quality=int(all_qualities.min()),
+        max_quality=int(all_qualities.max()),
+        smoothness=smooth,
+        utilisation=total_time / budget if budget > 0 else 0.0,
+        deadline_misses=misses,
+        worst_lateness=worst_lateness,
+        overhead_seconds=total_overhead,
+        overhead_fraction=total_overhead / total_time if total_time > 0 else 0.0,
+        manager_calls=int(sum(o.manager_invocations.shape[0] for o in outcomes)),
+    )
+
+
+def compare_outcomes(
+    labelled_outcomes: dict[str, Sequence[CycleOutcome]],
+    deadlines: DeadlineFunction,
+) -> dict[str, QualityMetrics]:
+    """Metrics for several managers run on the same workload, keyed by label."""
+    return {
+        label: compute_metrics(outcomes, deadlines)
+        for label, outcomes in labelled_outcomes.items()
+    }

@@ -1,0 +1,133 @@
+"""Paper-style text reports.
+
+Formats the quantities of the experiments into aligned text tables matching
+the way the paper reports them: the memory table of §4.1, the overhead
+percentages of §4.2, and the per-frame average-quality series of Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import QualityMetrics
+from repro.core.compiler import CompilationReport
+
+__all__ = [
+    "format_table",
+    "memory_report",
+    "overhead_report",
+    "quality_series_report",
+    "metrics_report",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def memory_report(report: CompilationReport) -> str:
+    """The §4.1 memory table: stored integers and raw bytes per manager."""
+    rows = [
+        (
+            "quality regions",
+            f"|A|*|Q| = {report.n_actions}*{report.n_levels}",
+            report.region_integers,
+            f"{report.region_footprint.kilobytes:.1f} KiB",
+        ),
+        (
+            "control relaxation",
+            f"2*|A|*|Q|*|rho| = 2*{report.n_actions}*{report.n_levels}*{len(report.relaxation_steps)}",
+            report.relaxation_integers,
+            f"{report.relaxation_footprint.kilobytes:.1f} KiB",
+        ),
+    ]
+    return format_table(
+        ["table", "formula", "stored integers", "raw size"],
+        rows,
+        title="Symbolic table memory (experiment E1, paper §4.1)",
+    )
+
+
+def overhead_report(metrics: Mapping[str, QualityMetrics]) -> str:
+    """The §4.2 overhead comparison across manager implementations."""
+    rows = []
+    for label, m in metrics.items():
+        rows.append(
+            (
+                label,
+                f"{100.0 * m.overhead_fraction:.2f} %",
+                m.manager_calls,
+                f"{m.mean_quality:.2f}",
+                m.deadline_misses,
+            )
+        )
+    return format_table(
+        ["manager", "overhead", "manager calls", "mean quality", "deadline misses"],
+        rows,
+        title="Quality-management overhead (experiment E2, paper §4.2)",
+    )
+
+
+def quality_series_report(series: Mapping[str, np.ndarray], *, label: str = "frame") -> str:
+    """The Figure 7 series: average quality per frame for each manager."""
+    names = list(series)
+    length = max(len(np.asarray(series[name]).ravel()) for name in names)
+    rows = []
+    for index in range(length):
+        row: list[object] = [index]
+        for name in names:
+            values = np.asarray(series[name]).ravel()
+            row.append(f"{values[index]:.3f}" if index < len(values) else "")
+        rows.append(row)
+    return format_table([label, *names], rows, title="Average quality level per frame (Figure 7)")
+
+
+def metrics_report(metrics: Mapping[str, QualityMetrics]) -> str:
+    """Full metric comparison across managers (safety, optimality, smoothness, overhead)."""
+    rows = []
+    for label, m in metrics.items():
+        row = m.as_row()
+        rows.append(
+            (
+                label,
+                row["mean_quality"],
+                row["std_quality"],
+                row["smoothness"],
+                row["utilisation"],
+                row["deadline_misses"],
+                f"{row['overhead_pct']:.2f} %",
+                row["manager_calls"],
+            )
+        )
+    return format_table(
+        [
+            "manager",
+            "mean q",
+            "std q",
+            "smoothness",
+            "utilisation",
+            "misses",
+            "overhead",
+            "calls",
+        ],
+        rows,
+        title="QoS metrics",
+    )

@@ -1,0 +1,59 @@
+"""Parameter sweeps.
+
+A small harness for the ablation studies: sweep one parameter (relaxation
+step set, worst-case margin, deadline tightness, number of quality levels,
+platform speed...), run the same evaluation on each point and collect the
+records into a list of flat dictionaries ready for tabulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = ["SweepPoint", "run_sweep", "sweep_table"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated point of a parameter sweep."""
+
+    parameter: str
+    value: object
+    record: Mapping[str, object]
+
+    def flat(self) -> dict[str, object]:
+        """The record with the swept parameter folded in."""
+        merged: dict[str, object] = {self.parameter: self.value}
+        merged.update(self.record)
+        return merged
+
+
+def run_sweep(
+    parameter: str,
+    values: Iterable[object],
+    evaluate: Callable[[object], Mapping[str, object]],
+) -> list[SweepPoint]:
+    """Evaluate ``evaluate(value)`` for every value and collect the records.
+
+    ``evaluate`` returns a flat mapping of metric name to value; exceptions
+    are not caught — a failing sweep point is a bug in the experiment, not a
+    data point.
+    """
+    points: list[SweepPoint] = []
+    for value in values:
+        record = evaluate(value)
+        points.append(SweepPoint(parameter=parameter, value=value, record=dict(record)))
+    return points
+
+
+def sweep_table(points: Sequence[SweepPoint]) -> tuple[list[str], list[list[object]]]:
+    """Turn sweep points into (headers, rows) for :func:`repro.analysis.reports.format_table`."""
+    if not points:
+        return [], []
+    headers = list(points[0].flat().keys())
+    rows = []
+    for point in points:
+        flat = point.flat()
+        rows.append([flat.get(h, "") for h in headers])
+    return headers, rows

@@ -1,0 +1,27 @@
+"""Baseline quality/overload managers from related work.
+
+Used as comparison points against the paper's mixed-policy Quality Manager:
+
+* :class:`ConstantQualityManager` — no adaptation at all;
+* :func:`safe_only_manager` / :func:`average_only_manager` — ablations of the
+  mixed policy's two ingredients;
+* :class:`SkipQualityManager` — skip-over overload handling (Koren & Shasha);
+* :class:`FeedbackQualityManager` — PID feedback scheduling (Lu et al.);
+* :class:`ElasticQualityManager` — worst-case utilisation compression
+  (Buttazzo et al.).
+"""
+
+from .constant import ConstantQualityManager
+from .elastic import ElasticQualityManager
+from .feedback import FeedbackQualityManager
+from .policy_managers import average_only_manager, safe_only_manager
+from .skip import SkipQualityManager
+
+__all__ = [
+    "ConstantQualityManager",
+    "ElasticQualityManager",
+    "FeedbackQualityManager",
+    "SkipQualityManager",
+    "safe_only_manager",
+    "average_only_manager",
+]

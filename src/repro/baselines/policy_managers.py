@@ -1,0 +1,47 @@
+"""Ablation managers built from the non-mixed policies.
+
+The mixed policy ``C^D = C^av + δ_max`` is the paper's answer to the tension
+between safety and smoothness; these managers isolate its two ingredients:
+
+* the *safe-only* manager uses ``C^sf`` (worst case for the next action,
+  minimal quality for the rest) — always safe, but the quality collapses
+  towards the end of each cycle;
+* the *average-only* manager uses ``C^av`` alone — smooth, optimistic, and
+  *unsafe* when actual times exceed the average.
+
+Both reuse the numeric manager machinery with a different ``t^D`` table.
+"""
+
+from __future__ import annotations
+
+from repro.core.deadlines import DeadlineFunction
+from repro.core.manager import NumericQualityManager
+from repro.core.policy import AveragePolicy, SafePolicy
+from repro.core.system import ParameterizedSystem
+from repro.core.tdtable import compute_td_table
+
+__all__ = ["safe_only_manager", "average_only_manager"]
+
+
+def safe_only_manager(
+    system: ParameterizedSystem, deadlines: DeadlineFunction
+) -> NumericQualityManager:
+    """A numeric Quality Manager applying the safe (worst-case) policy ``C^sf``."""
+    table = compute_td_table(system, deadlines, SafePolicy())
+    manager = NumericQualityManager(table)
+    manager.name = "safe-only"
+    return manager
+
+
+def average_only_manager(
+    system: ParameterizedSystem, deadlines: DeadlineFunction
+) -> NumericQualityManager:
+    """A numeric Quality Manager applying the optimistic average policy ``C^av``.
+
+    Provided purely as an ablation baseline: it does *not* guarantee the
+    deadlines and the experiments show it missing them on heavy frames.
+    """
+    table = compute_td_table(system, deadlines, AveragePolicy(), require_feasible=False)
+    manager = NumericQualityManager(table)
+    manager.name = "average-only"
+    return manager

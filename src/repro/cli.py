@@ -1,0 +1,136 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the main workflows without writing any
+code:
+
+* ``info`` — the paper's experimental setup and the reference numbers;
+* ``compare`` — compile the three Quality Managers for an encoder workload,
+  run them on identical scenarios and print the overhead / quality tables;
+* ``experiments`` — run the full experiment suite (all tables and figures);
+* ``diagram`` — print the speed diagram of one controlled cycle.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Speed diagrams and symbolic quality management (IPPS 2007 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("info", help="print the paper's setup and reference numbers")
+
+    compare = commands.add_parser(
+        "compare", help="compare the numeric and symbolic managers on the encoder workload"
+    )
+    compare.add_argument("--frames", type=int, default=6, help="number of frames to encode")
+    compare.add_argument("--seed", type=int, default=0, help="random seed")
+    compare.add_argument(
+        "--small", action="store_true", help="use the QCIF workload instead of the paper's CIF"
+    )
+
+    experiments = commands.add_parser(
+        "experiments", help="run the full experiment suite (every table and figure)"
+    )
+    experiments.add_argument("--fast", action="store_true", help="small workload, quick run")
+    experiments.add_argument("--seed", type=int, default=0, help="random seed")
+
+    diagram = commands.add_parser("diagram", help="print the speed diagram of one cycle")
+    diagram.add_argument("--seed", type=int, default=0, help="random seed")
+    return parser
+
+
+def _run_info() -> int:
+    from repro.analysis import format_table
+    from repro.experiments import PAPER_REFERENCE, PAPER_SETUP
+
+    setup_rows = [
+        ("actions per cycle", PAPER_SETUP.n_actions),
+        ("quality levels", PAPER_SETUP.n_levels),
+        ("deadline per cycle", f"{PAPER_SETUP.deadline_seconds:.0f} s"),
+        ("frames in the sequence", PAPER_SETUP.n_frames),
+        ("macroblocks per frame", PAPER_SETUP.macroblocks_per_frame),
+        ("relaxation step set ρ", list(PAPER_SETUP.relaxation_steps)),
+    ]
+    reference_rows = [
+        ("quality-region integers", PAPER_REFERENCE.region_integers),
+        ("relaxation integers", PAPER_REFERENCE.relaxation_integers),
+        ("overhead, numeric", f"{PAPER_REFERENCE.overhead_numeric_pct} %"),
+        ("overhead, regions", f"{PAPER_REFERENCE.overhead_region_pct} %"),
+        ("overhead, relaxation", f"< {PAPER_REFERENCE.overhead_relaxation_pct} %"),
+    ]
+    print(format_table(["parameter", "value"], setup_rows, title="Paper setup (§4.1)"))
+    print()
+    print(format_table(["quantity", "paper"], reference_rows, title="Paper-reported results (§4.2)"))
+    return 0
+
+
+def _run_compare(frames: int, seed: int, small: bool) -> int:
+    from repro.analysis import compute_metrics, memory_report, metrics_report, sparkline
+    from repro.core import QualityManagerCompiler
+    from repro.media import paper_encoder, small_encoder
+    from repro.platform import PlatformExecutor, ipod_video
+
+    workload = small_encoder(seed=seed, n_frames=frames) if small else paper_encoder(seed=seed)
+    system = workload.build_system()
+    deadlines = workload.deadlines()
+    controllers = QualityManagerCompiler().compile(system, deadlines)
+    print(memory_report(controllers.report))
+    print()
+    executor = PlatformExecutor(ipod_video())
+    results = executor.compare(system, deadlines, controllers.managers(), n_cycles=frames, seed=seed)
+    metrics = {
+        name: compute_metrics(result.outcomes, deadlines) for name, result in results.items()
+    }
+    print(metrics_report(metrics))
+    print("\naverage quality per frame:")
+    for name, result in results.items():
+        series = result.mean_quality_per_cycle
+        print(f"  {name:11s} {sparkline(series, width=40)}  mean {series.mean():.2f}")
+    return 0
+
+
+def _run_experiments(fast: bool, seed: int) -> int:
+    from repro.experiments import run_all_experiments
+
+    print(run_all_experiments(fast=fast, seed=seed).render())
+    return 0
+
+
+def _run_diagram(seed: int) -> int:
+    from repro.analysis import render_speed_diagram
+    from repro.core import QualityManagerCompiler, SpeedDiagram, run_cycle
+    from repro.media import small_encoder
+
+    import numpy as np
+
+    workload = small_encoder(seed=seed)
+    system = workload.build_system()
+    deadlines = workload.deadlines()
+    controllers = QualityManagerCompiler().compile(system, deadlines)
+    diagram = SpeedDiagram(system, deadlines, td_table=controllers.td_table)
+    outcome = run_cycle(system, controllers.relaxation, rng=np.random.default_rng(seed))
+    print(render_speed_diagram(diagram, outcome, qualities_to_show=[0, 3, 6]))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    arguments = build_parser().parse_args(argv)
+    if arguments.command == "info":
+        return _run_info()
+    if arguments.command == "compare":
+        return _run_compare(arguments.frames, arguments.seed, arguments.small)
+    if arguments.command == "experiments":
+        return _run_experiments(arguments.fast, arguments.seed)
+    if arguments.command == "diagram":
+        return _run_diagram(arguments.seed)
+    raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover

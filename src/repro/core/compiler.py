@@ -1,0 +1,153 @@
+"""The quality-manager "compiler": pre-computation of symbolic controllers.
+
+The paper's tool chain (Figure 1) takes the application software, its timing
+functions (``C^av``, ``C^wc``) and the deadline requirements, and generates
+the controlled software together with the Quality Manager implementation —
+numeric, region-based or relaxation-based.  The region and relaxation tables
+were pre-computed off-line with a Matlab/Simulink prototype; here the same
+role is played by :class:`QualityManagerCompiler`, which produces all three
+manager flavours from one :class:`~repro.core.tdtable.TDTable` and reports
+their memory footprints (experiment E1).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .deadlines import DeadlineFunction
+from .manager import MemoryFootprint, NumericQualityManager, QualityManager
+from .policy import MixedPolicy, QualityManagementPolicy
+from .regions import QualityRegionTable, RegionQualityManager
+from .relaxation import DEFAULT_RELAXATION_STEPS, RelaxationQualityManager, RelaxationTable
+from .system import ParameterizedSystem
+from .tdtable import TDTable, compute_td_table
+
+__all__ = ["CompilationReport", "CompiledControllers", "QualityManagerCompiler"]
+
+
+@dataclass(frozen=True, slots=True)
+class CompilationReport:
+    """Sizes and pre-computation costs of the generated symbolic controllers.
+
+    The integer counts correspond to the paper's §4.1 figures:
+    ``region_integers = |A| * |Q|`` and
+    ``relaxation_integers = 2 * |A| * |Q| * |ρ|``.
+    """
+
+    n_actions: int
+    n_levels: int
+    relaxation_steps: tuple[int, ...]
+    region_footprint: MemoryFootprint
+    relaxation_footprint: MemoryFootprint
+    td_precompute_seconds: float
+    region_precompute_seconds: float
+    relaxation_precompute_seconds: float
+
+    @property
+    def region_integers(self) -> int:
+        """Number of stored integers for the quality-region tables."""
+        return self.region_footprint.integers
+
+    @property
+    def relaxation_integers(self) -> int:
+        """Number of stored integers for the control-relaxation tables."""
+        return self.relaxation_footprint.integers
+
+
+@dataclass(frozen=True)
+class CompiledControllers:
+    """The three Quality Manager implementations generated for one system."""
+
+    numeric: NumericQualityManager
+    region: RegionQualityManager
+    relaxation: RelaxationQualityManager
+    td_table: TDTable
+    report: CompilationReport
+    extras: dict[str, QualityManager] = field(default_factory=dict)
+
+    def managers(self) -> dict[str, QualityManager]:
+        """All generated managers keyed by their reporting name."""
+        result: dict[str, QualityManager] = {
+            self.numeric.name: self.numeric,
+            self.region.name: self.region,
+            self.relaxation.name: self.relaxation,
+        }
+        result.update(self.extras)
+        return result
+
+
+class QualityManagerCompiler:
+    """Generates numeric and symbolic Quality Managers for a parameterized system.
+
+    Parameters
+    ----------
+    policy:
+        The quality-management policy; defaults to the paper's mixed policy.
+    relaxation_steps:
+        The candidate relaxation step set ``ρ``; defaults to the paper's
+        ``{1, 10, 20, 30, 40, 50}``.
+    require_feasible:
+        Refuse to compile controllers for systems that cannot meet their
+        deadlines even at the minimal quality (default ``True``).
+    """
+
+    def __init__(
+        self,
+        *,
+        policy: QualityManagementPolicy | None = None,
+        relaxation_steps: Sequence[int] = DEFAULT_RELAXATION_STEPS,
+        require_feasible: bool = True,
+    ) -> None:
+        self._policy = policy if policy is not None else MixedPolicy()
+        self._steps = tuple(sorted({int(r) for r in relaxation_steps}))
+        self._require_feasible = require_feasible
+
+    @property
+    def policy(self) -> QualityManagementPolicy:
+        """The policy used to derive ``t^D``."""
+        return self._policy
+
+    @property
+    def relaxation_steps(self) -> tuple[int, ...]:
+        """The relaxation step set ``ρ``."""
+        return self._steps
+
+    def compile(
+        self,
+        system: ParameterizedSystem,
+        deadlines: DeadlineFunction,
+    ) -> CompiledControllers:
+        """Generate the three Quality Managers and the compilation report."""
+        t0 = _time.perf_counter()
+        td_table = compute_td_table(
+            system, deadlines, self._policy, require_feasible=self._require_feasible
+        )
+        t1 = _time.perf_counter()
+        regions = QualityRegionTable(td_table)
+        t2 = _time.perf_counter()
+        relaxation_table = RelaxationTable(td_table, self._steps)
+        t3 = _time.perf_counter()
+
+        numeric = NumericQualityManager(td_table)
+        region_manager = RegionQualityManager(regions)
+        relaxation_manager = RelaxationQualityManager(regions, relaxation_table)
+
+        report = CompilationReport(
+            n_actions=system.n_actions,
+            n_levels=len(system.qualities),
+            relaxation_steps=self._steps,
+            region_footprint=regions.memory_footprint(),
+            relaxation_footprint=relaxation_table.memory_footprint(),
+            td_precompute_seconds=t1 - t0,
+            region_precompute_seconds=t2 - t1,
+            relaxation_precompute_seconds=t3 - t2,
+        )
+        return CompiledControllers(
+            numeric=numeric,
+            region=region_manager,
+            relaxation=relaxation_manager,
+            td_table=td_table,
+            report=report,
+        )

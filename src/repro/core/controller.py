@@ -1,0 +1,209 @@
+"""Controlled-system execution: the composition ``PS || Γ``.
+
+The controlled system executes the scheduled actions one by one; before an
+action starts, the Quality Manager may be consulted to fix the quality of the
+next action (or of the next ``r`` actions when control relaxation applies).
+Each consultation can be charged a management overhead, provided by an
+overhead model — that charge is exactly the quantity the symbolic managers
+reduce.
+
+The execution loop lives here, in the core package, so that it can be used
+without the platform layer (zero overhead, ideal clock).  The platform
+executor (:mod:`repro.platform.executor`) wraps this loop with a calibrated
+overhead model and clock effects.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from .deadlines import DeadlineFunction
+from .manager import ManagerWork, QualityManager
+from .system import CycleOutcome, ParameterizedSystem
+from .timing import ActualTimeScenario
+
+__all__ = ["OverheadModelProtocol", "run_cycle", "run_fixed_quality", "ControlledSystem"]
+
+
+class OverheadModelProtocol(Protocol):
+    """Anything that can convert abstract manager work into virtual seconds."""
+
+    def charge(self, work: ManagerWork) -> float:
+        """Time (in the system's time unit) consumed by one manager invocation."""
+        ...
+
+
+def run_cycle(
+    system: ParameterizedSystem,
+    manager: QualityManager,
+    *,
+    scenario: ActualTimeScenario | None = None,
+    rng: np.random.Generator | None = None,
+    overhead_model: OverheadModelProtocol | None = None,
+) -> CycleOutcome:
+    """Execute one cycle of ``PS || Γ`` and return its timed trace.
+
+    Parameters
+    ----------
+    system:
+        The parameterized system to execute.
+    manager:
+        The Quality Manager deciding action qualities.
+    scenario:
+        Actual execution times for the cycle.  Drawn from the system's timing
+        model when omitted (requires ``rng`` unless the model is
+        deterministic).
+    rng:
+        Random generator used to draw the scenario when none is supplied.
+    overhead_model:
+        Optional model charging virtual time for each manager invocation.
+        Without it management is free (the idealised semantics of Section 2).
+    """
+    if scenario is None:
+        scenario = system.draw_scenario(rng if rng is not None else np.random.default_rng(0))
+    if scenario.n_actions != system.n_actions:
+        raise ValueError(
+            f"scenario covers {scenario.n_actions} actions, system has {system.n_actions}"
+        )
+    manager.reset()
+
+    n = system.n_actions
+    qualities = np.empty(n, dtype=np.int64)
+    durations = np.empty(n, dtype=np.float64)
+    completion = np.empty(n, dtype=np.float64)
+    invocation_states: list[int] = []
+    invocation_overheads: list[float] = []
+
+    elapsed = 0.0
+    completed = 0
+    while completed < n:
+        decision = manager.decide(completed, elapsed)
+        overhead = overhead_model.charge(decision.work) if overhead_model is not None else 0.0
+        invocation_states.append(completed)
+        invocation_overheads.append(overhead)
+        elapsed += overhead
+        steps = min(decision.steps, n - completed)
+        for _ in range(steps):
+            action_index = completed + 1
+            duration = scenario.actual_time(action_index, decision.quality)
+            qualities[completed] = decision.quality
+            durations[completed] = duration
+            elapsed += duration
+            completion[completed] = elapsed
+            completed += 1
+
+    return CycleOutcome(
+        qualities=qualities,
+        durations=durations,
+        completion_times=completion,
+        manager_invocations=np.array(invocation_states, dtype=np.int64),
+        manager_overheads=np.array(invocation_overheads, dtype=np.float64),
+    )
+
+
+def run_fixed_quality(
+    system: ParameterizedSystem,
+    quality: int,
+    *,
+    scenario: ActualTimeScenario | None = None,
+    rng: np.random.Generator | None = None,
+) -> CycleOutcome:
+    """Execute one cycle at a constant quality level with no management at all.
+
+    Used by baselines and by the profiler to measure per-quality behaviour.
+    """
+    if quality not in system.qualities:
+        raise ValueError(f"quality {quality} not in {system.qualities!r}")
+    if scenario is None:
+        scenario = system.draw_scenario(rng if rng is not None else np.random.default_rng(0))
+    n = system.n_actions
+    row = system.qualities.index_of(quality)
+    durations = scenario.matrix[row].copy()
+    completion = np.cumsum(durations)
+    return CycleOutcome(
+        qualities=np.full(n, quality, dtype=np.int64),
+        durations=durations,
+        completion_times=completion,
+        manager_invocations=np.empty(0, dtype=np.int64),
+        manager_overheads=np.empty(0, dtype=np.float64),
+    )
+
+
+class ControlledSystem:
+    """Convenience wrapper bundling a system, deadlines and a Quality Manager.
+
+    Provides multi-cycle execution (the application software is cyclic:
+    deadlines restart at every cycle) and keeps the pieces together for
+    experiments.
+    """
+
+    def __init__(
+        self,
+        system: ParameterizedSystem,
+        deadlines: DeadlineFunction,
+        manager: QualityManager,
+        *,
+        overhead_model: OverheadModelProtocol | None = None,
+    ) -> None:
+        self._system = system
+        self._deadlines = deadlines
+        self._manager = manager
+        self._overhead_model = overhead_model
+
+    @property
+    def system(self) -> ParameterizedSystem:
+        """The underlying parameterized system."""
+        return self._system
+
+    @property
+    def deadlines(self) -> DeadlineFunction:
+        """The per-cycle deadline function."""
+        return self._deadlines
+
+    @property
+    def manager(self) -> QualityManager:
+        """The Quality Manager in charge of quality choices."""
+        return self._manager
+
+    def run_cycle(
+        self,
+        *,
+        scenario: ActualTimeScenario | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> CycleOutcome:
+        """Execute a single cycle (see :func:`run_cycle`)."""
+        return run_cycle(
+            self._system,
+            self._manager,
+            scenario=scenario,
+            rng=rng,
+            overhead_model=self._overhead_model,
+        )
+
+    def run_cycles(
+        self,
+        n_cycles: int,
+        *,
+        rng: np.random.Generator | None = None,
+        scenarios: Sequence[ActualTimeScenario] | None = None,
+    ) -> list[CycleOutcome]:
+        """Execute several consecutive cycles and return their traces.
+
+        Each cycle restarts the clock at zero (deadlines are relative to the
+        cycle start).  ``scenarios`` fixes the actual times of every cycle,
+        which allows comparing different managers on identical inputs.
+        """
+        if n_cycles < 1:
+            raise ValueError(f"n_cycles must be >= 1, got {n_cycles}")
+        if scenarios is not None and len(scenarios) != n_cycles:
+            raise ValueError(
+                f"expected {n_cycles} scenarios, got {len(scenarios)}"
+            )
+        generator = rng if rng is not None else np.random.default_rng(0)
+        outcomes = []
+        for cycle in range(n_cycles):
+            scenario = scenarios[cycle] if scenarios is not None else None
+            outcomes.append(self.run_cycle(scenario=scenario, rng=generator))
+        return outcomes

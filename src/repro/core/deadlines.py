@@ -1,0 +1,174 @@
+"""Deadline functions ``D : A -> R+``.
+
+The quality-management problem (Definition 3) is parameterised by a deadline
+function associating a deadline with (a subset of) actions: executing action
+``a_i`` must finish no later than ``D(a_i)``, measured from the start of the
+cycle.  The paper's experiments use a single global deadline attached to the
+last action of the cycle (``D = 30 s``); the formulation however supports
+multiple intermediate deadlines, which matter for e.g. per-frame deadlines
+inside a group of pictures.  This module provides both forms plus a periodic
+helper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from .types import QualityManagementError
+
+__all__ = ["DeadlineFunction"]
+
+
+class DeadlineFunction:
+    """A sparse mapping from action indices (1-based) to absolute deadlines.
+
+    Only actions that actually carry a deadline are stored; the quality
+    management policy minimises over this sparse set (the ``min_{i<=k<=n}`` in
+    the definition of ``t^D``).  Deadlines are expressed in the same time unit
+    as the timing tables, relative to the start of the cycle.
+    """
+
+    __slots__ = ("_deadlines", "_indices", "_values")
+
+    def __init__(self, deadlines: Mapping[int, float]) -> None:
+        if not deadlines:
+            raise QualityManagementError("a deadline function needs at least one deadline")
+        cleaned: dict[int, float] = {}
+        for index, value in deadlines.items():
+            idx = int(index)
+            val = float(value)
+            if idx < 1:
+                raise QualityManagementError(
+                    f"deadline attached to invalid action index {idx} (must be >= 1)"
+                )
+            if not np.isfinite(val) or val < 0.0:
+                raise QualityManagementError(
+                    f"deadline for action {idx} must be a non-negative finite number, got {val}"
+                )
+            cleaned[idx] = val
+        self._deadlines = dict(sorted(cleaned.items()))
+        self._indices = np.array(list(self._deadlines.keys()), dtype=np.intp)
+        self._values = np.array(list(self._deadlines.values()), dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def single(cls, last_action_index: int, deadline: float) -> "DeadlineFunction":
+        """One global deadline on the last action of the cycle (the paper's setup)."""
+        return cls({last_action_index: deadline})
+
+    @classmethod
+    def periodic(
+        cls,
+        n_actions: int,
+        period_actions: int,
+        period_time: float,
+        *,
+        offset: float = 0.0,
+    ) -> "DeadlineFunction":
+        """A deadline every ``period_actions`` actions, ``period_time`` apart.
+
+        Models e.g. a per-frame deadline inside a multi-frame cycle: action
+        ``k * period_actions`` must complete by ``offset + k * period_time``.
+        The final action always receives a deadline even if it does not fall
+        on a period boundary.
+        """
+        if period_actions < 1:
+            raise QualityManagementError("period_actions must be >= 1")
+        if period_time <= 0.0:
+            raise QualityManagementError("period_time must be > 0")
+        deadlines: dict[int, float] = {}
+        k = 1
+        while k * period_actions <= n_actions:
+            deadlines[k * period_actions] = offset + k * period_time
+            k += 1
+        if n_actions not in deadlines:
+            deadlines[n_actions] = offset + k * period_time
+        return cls(deadlines)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, float]]) -> "DeadlineFunction":
+        """Build from ``(action_index, deadline)`` pairs."""
+        return cls(dict(pairs))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def indices(self) -> np.ndarray:
+        """Sorted array of 1-based action indices carrying a deadline."""
+        return self._indices
+
+    @property
+    def values(self) -> np.ndarray:
+        """Deadline values aligned with :attr:`indices`."""
+        return self._values
+
+    @property
+    def final_deadline(self) -> float:
+        """The deadline of the latest constrained action."""
+        return float(self._values[-1])
+
+    @property
+    def last_constrained_index(self) -> int:
+        """Largest action index that carries a deadline."""
+        return int(self._indices[-1])
+
+    def __len__(self) -> int:
+        return len(self._deadlines)
+
+    def __iter__(self) -> Iterator[tuple[int, float]]:
+        return iter(self._deadlines.items())
+
+    def __contains__(self, action_index: object) -> bool:
+        return action_index in self._deadlines
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DeadlineFunction) and other._deadlines == self._deadlines
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"DeadlineFunction({self._deadlines!r})"
+
+    def deadline_of(self, action_index: int) -> float:
+        """``D(a_k)`` for a constrained action; raises ``KeyError`` otherwise."""
+        return self._deadlines[action_index]
+
+    def get(self, action_index: int, default: float | None = None) -> float | None:
+        """Deadline of an action or ``default`` when it carries none."""
+        return self._deadlines.get(action_index, default)
+
+    def remaining(self, state_index: int) -> list[tuple[int, float]]:
+        """Deadlines still ahead of a state with ``state_index`` completed actions.
+
+        Returns ``(action_index, deadline)`` pairs with ``action_index >
+        state_index``, in increasing index order.  The mixed policy minimises
+        its slack over exactly this set.
+        """
+        position = int(np.searchsorted(self._indices, state_index, side="right"))
+        return [
+            (int(idx), float(val))
+            for idx, val in zip(self._indices[position:], self._values[position:])
+        ]
+
+    def covers(self, n_actions: int) -> bool:
+        """True when the last action of an ``n_actions`` cycle carries a deadline.
+
+        The quality-management problem is only well posed when the final
+        action is constrained (otherwise "maximal overall execution time" is
+        unbounded); the compiler checks this.
+        """
+        return self.last_constrained_index == n_actions
+
+    def scaled(self, factor: float) -> "DeadlineFunction":
+        """Return a copy with every deadline multiplied by ``factor``."""
+        if factor <= 0.0:
+            raise QualityManagementError(f"deadline scale factor must be > 0, got {factor}")
+        return DeadlineFunction({idx: val * factor for idx, val in self._deadlines.items()})
+
+    def shifted(self, offset: float) -> "DeadlineFunction":
+        """Return a copy with ``offset`` added to every deadline."""
+        shifted = {idx: val + offset for idx, val in self._deadlines.items()}
+        return DeadlineFunction(shifted)

@@ -1,0 +1,189 @@
+"""Quality-management policies.
+
+A policy is defined (Section 2.2.1) by an execution-time estimation function
+``C^D(a_i .. a_k, q)``: the estimated time needed to run the remaining
+actions up to a deadline-carrying action ``a_k`` when the next action is run
+at quality ``q``.  Given a policy, the Quality Manager is
+
+    ``Γ(s_{i-1}, t_{i-1}) = max { q | t^D(s_{i-1}, q) >= t_{i-1} }``
+
+with ``t^D(s_{i-1}, q) = min_{i<=k<=n} D(a_k) - C^D(a_i .. a_k, q)``.
+
+Three policies are provided:
+
+* :class:`SafePolicy` — the worst-case policy ``C^sf`` of §2.2.2: the next
+  action at quality ``q``, every later action at the minimal quality.  Safe
+  but produces strongly fluctuating quality (starts high, ends low).
+* :class:`AveragePolicy` — uses the average times ``C^av`` only.  Smooth but
+  *unsafe*: deadlines can be missed when actual times exceed the average.
+  Provided as an ablation baseline.
+* :class:`MixedPolicy` — the paper's policy ``C^D = C^av + δ_max``, combining
+  the average estimate with the safety margin
+  ``δ_max(a_i..a_k, q) = max_{i<=j<=k} ( C^sf(a_j..a_k, q) - C^av(a_j..a_k, q) )``.
+  Safe *and* smooth; all the symbolic machinery of Section 3 is built on it.
+
+Every policy exposes a single vectorised primitive,
+:meth:`QualityManagementPolicy.horizon_costs`, returning
+``C^D(a_{i+1} .. a_k, q)`` for every state index ``i`` in ``0..k-1`` and
+every quality level, from which the ``t^D`` table is assembled by
+:mod:`repro.core.tdtable`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .timing import TimingModel
+
+__all__ = [
+    "QualityManagementPolicy",
+    "SafePolicy",
+    "AveragePolicy",
+    "MixedPolicy",
+    "delta_suffix",
+    "delta_max_suffix",
+]
+
+
+def delta_suffix(model: TimingModel, horizon: int, quality: int) -> np.ndarray:
+    """``δ(a_j .. a_k, q)`` for ``j = 1 .. k`` with ``k = horizon``.
+
+    ``δ(a_j..a_k, q) = C^sf(a_j..a_k, q) - C^av(a_j..a_k, q)`` where
+    ``C^sf(a_j..a_k, q) = C^wc(a_j, q) + C^wc(a_{j+1}..a_k, q_min)``.
+
+    Returns an array of length ``horizon`` whose entry ``j-1`` (0-based) is
+    ``δ(a_j..a_k, q)``.
+    """
+    if not 1 <= horizon <= model.n_actions:
+        raise ValueError(f"horizon {horizon} out of range 1..{model.n_actions}")
+    qualities = model.qualities
+    qi = qualities.index_of(quality)
+    qmin_i = 0
+    wc = model.worst_case
+    av = model.average
+    # worst case of the action a_j itself at quality q, j = 1..k
+    first_wc = wc.values[qi, :horizon]
+    # worst case of a_{j+1}..a_k at q_min: prefix[qmin, k] - prefix[qmin, j]
+    tail_wc_min = wc.prefix[qmin_i, horizon] - wc.prefix[qmin_i, 1 : horizon + 1]
+    # average of a_j..a_k at q: prefix[q, k] - prefix[q, j-1]
+    avg = av.prefix[qi, horizon] - av.prefix[qi, 0:horizon]
+    return first_wc + tail_wc_min - avg
+
+
+def delta_max_suffix(model: TimingModel, horizon: int, quality: int) -> np.ndarray:
+    """``δ_max(a_{i+1} .. a_k, q)`` for every state index ``i = 0 .. k-1``.
+
+    ``δ_max(a_{i+1}..a_k, q) = max_{i+1 <= j <= k} δ(a_j..a_k, q)`` — the
+    safety margin of the mixed policy.  Computed as a reverse running maximum
+    of :func:`delta_suffix` so the whole column costs ``O(k)``.
+    """
+    deltas = delta_suffix(model, horizon, quality)
+    # suffix running maximum: out[i] = max(deltas[i:])  (0-based i = state index)
+    return np.maximum.accumulate(deltas[::-1])[::-1]
+
+
+class QualityManagementPolicy(ABC):
+    """Abstract estimation function ``C^D`` defining a quality manager."""
+
+    #: short identifier used in reports and benchmark labels
+    name: str = "abstract"
+
+    #: whether the policy guarantees that no deadline is missed for any
+    #: admissible actual-time function (``C <= C^wc``)
+    guarantees_safety: bool = False
+
+    @abstractmethod
+    def horizon_costs(self, model: TimingModel, horizon: int) -> np.ndarray:
+        """``C^D(a_{i+1} .. a_k, q)`` for ``i = 0..k-1``, ``k = horizon``.
+
+        Returns an array of shape ``(n_levels, horizon)``; entry ``[qi, i]``
+        is the estimated time to complete actions ``a_{i+1} .. a_k`` when the
+        next action runs at the quality level with row index ``qi``.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+class SafePolicy(QualityManagementPolicy):
+    """Worst-case ("safe") policy: ``C^sf(a_{i+1}..a_k, q) = C^wc(a_{i+1}, q) + C^wc(a_{i+2}..a_k, q_min)``.
+
+    Always safe, never smooth: because the tail is costed at the minimal
+    quality, the manager front-loads high qualities and finishes cycles at the
+    minimal level.
+    """
+
+    name = "safe"
+    guarantees_safety = True
+
+    def horizon_costs(self, model: TimingModel, horizon: int) -> np.ndarray:
+        if not 1 <= horizon <= model.n_actions:
+            raise ValueError(f"horizon {horizon} out of range 1..{model.n_actions}")
+        wc = model.worst_case
+        n_levels = len(model.qualities)
+        # next action a_{i+1} at quality q: wc.values[:, i] for i = 0..k-1
+        head = wc.values[:, :horizon]
+        # remaining a_{i+2}..a_k at q_min: prefix[0, k] - prefix[0, i+1]
+        tail = wc.prefix[0, horizon] - wc.prefix[0, 1 : horizon + 1]
+        return head + np.broadcast_to(tail, (n_levels, horizon))
+
+
+class AveragePolicy(QualityManagementPolicy):
+    """Average-only policy: ``C^D(a_{i+1}..a_k, q) = C^av(a_{i+1}..a_k, q)``.
+
+    Optimistic: it assumes every remaining action behaves exactly like the
+    average.  Smooth but unsafe — used as an ablation to show why the mixed
+    policy's safety margin is needed.
+    """
+
+    name = "average"
+    guarantees_safety = False
+
+    def horizon_costs(self, model: TimingModel, horizon: int) -> np.ndarray:
+        if not 1 <= horizon <= model.n_actions:
+            raise ValueError(f"horizon {horizon} out of range 1..{model.n_actions}")
+        av = model.average
+        # average of a_{i+1}..a_k at q: prefix[:, k] - prefix[:, i]
+        return av.prefix[:, horizon : horizon + 1] - av.prefix[:, :horizon]
+
+
+class MixedPolicy(QualityManagementPolicy):
+    """The paper's mixed policy ``C^D = C^av + δ_max`` (§2.2.2).
+
+    The average term drives smoothness; the ``δ_max`` term is a safety margin
+    large enough to absorb the worst case of any suffix of the remaining
+    actions, which makes the policy safe (Theorem of [Combaz et al., EMSOFT
+    2005], restated as Proposition 1 here).
+    """
+
+    name = "mixed"
+    guarantees_safety = True
+
+    def horizon_costs(self, model: TimingModel, horizon: int) -> np.ndarray:
+        if not 1 <= horizon <= model.n_actions:
+            raise ValueError(f"horizon {horizon} out of range 1..{model.n_actions}")
+        av = model.average
+        n_levels = len(model.qualities)
+        average_part = av.prefix[:, horizon : horizon + 1] - av.prefix[:, :horizon]
+        margins = np.empty((n_levels, horizon), dtype=np.float64)
+        for qi in range(n_levels):
+            quality = model.qualities.level_at(qi)
+            margins[qi] = delta_max_suffix(model, horizon, quality)
+        return average_part + margins
+
+    def safety_margins(self, model: TimingModel, horizon: int) -> np.ndarray:
+        """``δ_max(a_{i+1}..a_k, q)`` for all states and levels, shape ``(n_levels, horizon)``.
+
+        Exposed separately because the optimal-speed computation of the speed
+        diagram (§3.1.2) needs the margin without the average term.
+        """
+        if not 1 <= horizon <= model.n_actions:
+            raise ValueError(f"horizon {horizon} out of range 1..{model.n_actions}")
+        n_levels = len(model.qualities)
+        margins = np.empty((n_levels, horizon), dtype=np.float64)
+        for qi in range(n_levels):
+            quality = model.qualities.level_at(qi)
+            margins[qi] = delta_max_suffix(model, horizon, quality)
+        return margins

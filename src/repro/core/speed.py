@@ -1,0 +1,307 @@
+"""Speed diagrams (Section 3.1): virtual time, ideal and optimal speeds.
+
+A speed diagram plots the evolution of a controlled system in a plane whose
+horizontal axis is the *actual* time ``t`` and whose vertical axis is a
+*virtual* time ``y`` computed from average execution times, normalised so
+that the target deadline sits on the diagonal:
+
+    ``y_i(q) = C^av(a_1..a_i, q) / C^av(a_1..a_k, q) * D(a_k)``
+
+Points on the 45° diagonal are optimal (actual time equals virtual time);
+below the diagonal the computation is late, above it is ahead.  Two speeds
+govern the quality choice (§3.1.2):
+
+* the *ideal* speed ``v_idl(q) = D(a_k) / C^av(a_1..a_k, q)`` — the constant
+  slope of a trajectory run entirely at quality ``q`` when actual times equal
+  average times;
+* the *optimal* speed ``v_opt(q)`` — the slope from the current point to the
+  target point ``( D(a_k) - δ_max(a_{i+1}..a_k, q), D(a_k) )``, i.e. finishing
+  exactly at the deadline minus the safety margin.
+
+Proposition 1 states that the mixed-policy constraint
+``t_i <= D(a_k) - C^D(a_{i+1}..a_k, q)`` holds iff ``v_idl(q) >= v_opt(q)``;
+the Quality Manager therefore picks the largest quality whose ideal speed
+still exceeds the optimal speed.  :class:`SpeedDiagram` exposes all these
+quantities, plus helpers to extract trajectories and region borders for the
+figures of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .deadlines import DeadlineFunction
+from .policy import MixedPolicy
+from .system import CycleOutcome, ParameterizedSystem
+from .tdtable import TDTable, compute_td_table
+
+__all__ = ["SpeedAssessment", "SpeedDiagram"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedAssessment:
+    """Outcome of evaluating Proposition 1 at one state and quality level.
+
+    Attributes
+    ----------
+    ideal_speed:
+        ``v_idl(q)``.
+    optimal_speed:
+        ``v_opt(q)``; ``inf`` when the remaining budget (denominator) is not
+        positive, i.e. the state is too late for this quality.
+    constraint_slack:
+        ``D(a_k) - C^D(a_{i+1}..a_k, q) - t_i`` — non-negative iff the mixed
+        policy accepts quality ``q`` at this state.
+    speeds_admissible:
+        ``v_idl(q) >= v_opt(q)``.
+    constraint_admissible:
+        ``constraint_slack >= 0``.  Proposition 1 says the two booleans agree.
+    """
+
+    ideal_speed: float
+    optimal_speed: float
+    constraint_slack: float
+    speeds_admissible: bool
+    constraint_admissible: bool
+
+    @property
+    def proposition1_agrees(self) -> bool:
+        """True when the geometric and the constraint characterisations agree.
+
+        Exactly at a region boundary (``constraint_slack == 0``) the two
+        characterisations coincide mathematically but floating-point rounding
+        can tip the two comparisons in opposite directions; states within
+        1e-9 of the boundary are therefore counted as agreeing.
+        """
+        if self.speeds_admissible == self.constraint_admissible:
+            return True
+        return abs(self.constraint_slack) <= 1e-9
+
+
+class SpeedDiagram:
+    """Speed-diagram geometry for one parameterized system and target deadline.
+
+    Parameters
+    ----------
+    system:
+        The parameterized system.
+    deadlines:
+        The deadline function; the diagram is drawn with respect to one
+        *target* constrained action ``a_k``.
+    target_index:
+        1-based index of the target deadline action; defaults to the last
+        constrained action (the paper's global deadline).
+    td_table:
+        Optional pre-computed ``t^D`` table (mixed policy).  Recomputed when
+        omitted.
+    """
+
+    def __init__(
+        self,
+        system: ParameterizedSystem,
+        deadlines: DeadlineFunction,
+        *,
+        target_index: int | None = None,
+        td_table: TDTable | None = None,
+    ) -> None:
+        self._system = system
+        self._deadlines = deadlines
+        k = deadlines.last_constrained_index if target_index is None else int(target_index)
+        if k not in deadlines:
+            raise ValueError(f"target action {k} carries no deadline")
+        if k > system.n_actions:
+            raise ValueError(
+                f"target action {k} beyond the system's {system.n_actions} actions"
+            )
+        self._target = k
+        self._deadline = deadlines.deadline_of(k)
+        self._policy = MixedPolicy()
+        if td_table is None:
+            td_table = compute_td_table(system, deadlines, self._policy, require_feasible=False)
+        self._td = td_table
+        # safety margins δ_max(a_{i+1}..a_k, q) for i = 0..k-1, all levels
+        self._margins = self._policy.safety_margins(system.timing, k)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def system(self) -> ParameterizedSystem:
+        """The parameterized system the diagram describes."""
+        return self._system
+
+    @property
+    def target_index(self) -> int:
+        """1-based index of the target deadline action ``a_k``."""
+        return self._target
+
+    @property
+    def deadline(self) -> float:
+        """The target deadline ``D(a_k)``."""
+        return self._deadline
+
+    @property
+    def td_table(self) -> TDTable:
+        """The mixed-policy ``t^D`` table used by the diagram."""
+        return self._td
+
+    # ------------------------------------------------------------------ #
+    # virtual time
+    # ------------------------------------------------------------------ #
+    def virtual_time(self, state_index: int, quality: int) -> float:
+        """``y_i(q)``: normalised virtual time at state ``s_i`` for quality ``q``."""
+        if not 0 <= state_index <= self._target:
+            raise IndexError(
+                f"state index {state_index} out of range 0..{self._target}"
+            )
+        total = self._system.average.total(1, self._target, quality)
+        if total <= 0.0:
+            # degenerate (all-zero average) — everything is "done" immediately
+            return self._deadline if state_index >= self._target else 0.0
+        done = self._system.average.total(1, state_index, quality)
+        return done / total * self._deadline
+
+    def virtual_times(self, quality: int) -> np.ndarray:
+        """``y_i(q)`` for every state ``i = 0 .. k`` (length ``k + 1``)."""
+        qi = self._system.qualities.index_of(quality)
+        prefix = self._system.average.prefix[qi, : self._target + 1]
+        total = prefix[-1]
+        if total <= 0.0:
+            values = np.zeros(self._target + 1)
+            values[-1] = self._deadline
+            return values
+        return prefix / total * self._deadline
+
+    # ------------------------------------------------------------------ #
+    # speeds
+    # ------------------------------------------------------------------ #
+    def ideal_speed(self, quality: int) -> float:
+        """``v_idl(q) = D(a_k) / C^av(a_1..a_k, q)``.
+
+        Independent of the state (the trajectory at constant quality and
+        average times is a straight line).  Returns ``inf`` when the average
+        total is zero.
+        """
+        total = self._system.average.total(1, self._target, quality)
+        if total <= 0.0:
+            return np.inf
+        return self._deadline / total
+
+    def safety_margin(self, state_index: int, quality: int) -> float:
+        """``δ_max(a_{i+1}..a_k, q)`` — the mixed policy's safety margin."""
+        if not 0 <= state_index < self._target:
+            raise IndexError(
+                f"state index {state_index} out of range 0..{self._target - 1}"
+            )
+        qi = self._system.qualities.index_of(quality)
+        return float(self._margins[qi, state_index])
+
+    def optimal_speed(self, state_index: int, time: float, quality: int) -> float:
+        """``v_opt(q)`` from ``(t_i, y_i(q))`` to ``(D - δ_max, D)``.
+
+        Returns ``inf`` when the remaining actual-time budget
+        ``D(a_k) - δ_max - t_i`` is not positive (the state is too late to
+        reach the safety-margin target at any finite speed).
+        """
+        remaining_virtual = self._system.average.total(
+            state_index + 1, self._target, quality
+        )
+        margin = self.safety_margin(state_index, quality)
+        budget = self._deadline - margin - time
+        if budget <= 0.0:
+            return np.inf
+        total = self._system.average.total(1, self._target, quality)
+        if total <= 0.0:
+            return 0.0
+        return (self._deadline / total) * (remaining_virtual / budget)
+
+    def assess(self, state_index: int, time: float, quality: int) -> SpeedAssessment:
+        """Evaluate both sides of Proposition 1 at one state and quality level."""
+        ideal = self.ideal_speed(quality)
+        optimal = self.optimal_speed(state_index, time, quality)
+        remaining_average = self._system.average.total(
+            state_index + 1, self._target, quality
+        )
+        margin = self.safety_margin(state_index, quality)
+        mixed_cost = remaining_average + margin
+        slack = self._deadline - mixed_cost - time
+        return SpeedAssessment(
+            ideal_speed=ideal,
+            optimal_speed=optimal,
+            constraint_slack=slack,
+            speeds_admissible=bool(ideal >= optimal),
+            constraint_admissible=bool(slack >= 0.0),
+        )
+
+    def admissible_qualities(self, state_index: int, time: float) -> list[int]:
+        """Quality levels whose ideal speed exceeds the optimal speed at this state."""
+        return [
+            q
+            for q in self._system.qualities
+            if self.assess(state_index, time, q).speeds_admissible
+        ]
+
+    def choose_quality(self, state_index: int, time: float) -> int:
+        """The manager's choice expressed geometrically.
+
+        The largest quality whose ideal speed is still at least the optimal
+        speed — the "least ideal speed exceeding the optimal speed".  Falls
+        back to the minimal quality when none is admissible, mirroring
+        :meth:`TDTable.choose_quality`.
+        """
+        admissible = self.admissible_qualities(state_index, time)
+        if not admissible:
+            return self._system.qualities.minimum
+        return max(admissible)
+
+    # ------------------------------------------------------------------ #
+    # figure material
+    # ------------------------------------------------------------------ #
+    def trajectory(
+        self,
+        outcome: CycleOutcome,
+        *,
+        reference_quality: int | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Speed-diagram trajectory of an executed cycle.
+
+        Returns a mapping with the actual times ``t_i``, the virtual times
+        ``y_i`` (computed either at a fixed ``reference_quality`` or at the
+        quality chosen for the next action of each state) and the per-state
+        chosen qualities.  State 0 (origin) is included.
+        """
+        k = min(self._target, outcome.n_actions)
+        times = np.concatenate(([0.0], outcome.completion_times[:k]))
+        qualities = outcome.qualities[:k]
+        if reference_quality is not None:
+            virtual = self.virtual_times(reference_quality)[: k + 1]
+        else:
+            virtual = np.empty(k + 1)
+            virtual[0] = 0.0
+            for i in range(1, k + 1):
+                # virtual progress measured at the quality the action ran at
+                virtual[i] = self.virtual_time(i, int(qualities[i - 1]))
+        return {
+            "actual_time": times,
+            "virtual_time": virtual,
+            "quality": np.concatenate((qualities, [qualities[-1]] if k else [])),
+        }
+
+    def region_border(self, quality: int) -> dict[str, np.ndarray]:
+        """The border of quality region ``R_q`` in diagram coordinates (Figure 4).
+
+        For every state ``i`` the border point is ``( t^D(s_i, q), y_i(q) )``;
+        the region lies to the left of (at smaller actual times than) the
+        border.
+        """
+        k = self._target
+        boundary_times = self._td.values[self._system.qualities.index_of(quality), :k]
+        virtual = self.virtual_times(quality)[:k]
+        return {"actual_time": boundary_times.copy(), "virtual_time": virtual}
+
+    def diagonal(self, points: int = 2) -> dict[str, np.ndarray]:
+        """The optimal-behaviour diagonal from the origin to ``(D, D)``."""
+        ts = np.linspace(0.0, self._deadline, max(2, points))
+        return {"actual_time": ts, "virtual_time": ts.copy()}

@@ -1,0 +1,248 @@
+"""Parameterized systems (Definition 1).
+
+A :class:`ParameterizedSystem` bundles the scheduled action sequence with its
+quality set and timing model (``C^wc``, ``C^av`` and an actual-time sampler).
+It is the object that every quality manager, region compiler and experiment
+consumes.  The class is deliberately immutable: building variants (different
+platform speed, different number of actions) goes through the constructors
+and the :meth:`ParameterizedSystem.rescaled` helper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .deadlines import DeadlineFunction
+from .timing import ActualTimeScenario, TimingModel, TimingTable
+from .types import InvalidTimingError, QualitySet, ScheduledSequence
+
+__all__ = ["ParameterizedSystem", "CycleOutcome"]
+
+
+@dataclass(frozen=True)
+class CycleOutcome:
+    """The timed execution of one cycle of a controlled system.
+
+    Attributes
+    ----------
+    qualities:
+        Quality level chosen for every action, in execution order.
+    durations:
+        Actual execution time of every action.
+    completion_times:
+        ``t_i`` for ``i = 1..n`` (cumulative sums of ``durations``).
+    manager_invocations:
+        State indices (0-based, number of completed actions) at which the
+        quality manager was actually invoked.  With control relaxation this is
+        a strict subset of all state indices.
+    manager_overheads:
+        Time charged to each manager invocation (same length as
+        ``manager_invocations``); zero when no platform overhead model is
+        used.
+    """
+
+    qualities: np.ndarray
+    durations: np.ndarray
+    completion_times: np.ndarray
+    manager_invocations: np.ndarray
+    manager_overheads: np.ndarray
+
+    @property
+    def n_actions(self) -> int:
+        """Number of actions executed in the cycle."""
+        return int(self.qualities.shape[0])
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last action (``t_n``)."""
+        return float(self.completion_times[-1]) if self.n_actions else 0.0
+
+    @property
+    def total_overhead(self) -> float:
+        """Total time spent in quality-manager invocations."""
+        return float(self.manager_overheads.sum())
+
+    @property
+    def mean_quality(self) -> float:
+        """Average quality level over the cycle."""
+        return float(self.qualities.mean()) if self.n_actions else 0.0
+
+    def quality_changes(self) -> int:
+        """Number of consecutive action pairs whose quality differs (smoothness proxy)."""
+        if self.n_actions < 2:
+            return 0
+        return int(np.count_nonzero(np.diff(self.qualities)))
+
+
+class ParameterizedSystem:
+    """An application software with quality-parameterised execution times.
+
+    Parameters
+    ----------
+    sequence:
+        The scheduled action sequence ``(A, S)``.
+    timing:
+        The timing model providing ``C^wc``, ``C^av`` and the actual-time
+        sampler.  Must cover exactly the actions of ``sequence``.
+    """
+
+    __slots__ = ("_sequence", "_timing")
+
+    def __init__(self, sequence: ScheduledSequence, timing: TimingModel) -> None:
+        if timing.n_actions != len(sequence):
+            raise InvalidTimingError(
+                f"timing model covers {timing.n_actions} actions but the sequence "
+                f"has {len(sequence)}"
+            )
+        self._sequence = sequence
+        self._timing = timing
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_tables(
+        cls,
+        names: Sequence[str],
+        qualities: QualitySet,
+        worst_case: np.ndarray,
+        average: np.ndarray,
+        *,
+        scenario_sampler: Callable[[np.random.Generator], np.ndarray] | None = None,
+    ) -> "ParameterizedSystem":
+        """Build a system directly from dense ``(levels, actions)`` arrays."""
+        sequence = ScheduledSequence.from_names(list(names))
+        wc = TimingTable(qualities, worst_case, name="Cwc")
+        av = TimingTable(qualities, average, name="Cav")
+        return cls(sequence, TimingModel(wc, av, scenario_sampler))
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def sequence(self) -> ScheduledSequence:
+        """The scheduled action sequence."""
+        return self._sequence
+
+    @property
+    def timing(self) -> TimingModel:
+        """The timing model (``C^wc``, ``C^av``, sampler)."""
+        return self._timing
+
+    @property
+    def qualities(self) -> QualitySet:
+        """The quality set ``Q``."""
+        return self._timing.qualities
+
+    @property
+    def n_actions(self) -> int:
+        """Number of actions ``n`` in one cycle."""
+        return len(self._sequence)
+
+    @property
+    def worst_case(self) -> TimingTable:
+        """The ``C^wc`` table."""
+        return self._timing.worst_case
+
+    @property
+    def average(self) -> TimingTable:
+        """The ``C^av`` table."""
+        return self._timing.average
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ParameterizedSystem(actions={self.n_actions}, "
+            f"levels={len(self.qualities)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # feasibility and derived systems
+    # ------------------------------------------------------------------ #
+    def minimal_completion_bound(self, deadlines: DeadlineFunction) -> float:
+        """Largest slack of the all-minimal-quality worst case against the deadlines.
+
+        Returns ``min_k ( D(a_k) - C^wc(a_1..a_k, q_min) )``.  The system is
+        feasible (a safe manager exists) iff this bound is non-negative.
+        """
+        slack = np.inf
+        qmin = self.qualities.minimum
+        for index, deadline in deadlines:
+            if index > self.n_actions:
+                raise InvalidTimingError(
+                    f"deadline attached to action {index} but the system has only "
+                    f"{self.n_actions} actions"
+                )
+            slack = min(slack, deadline - self.worst_case.total(1, index, qmin))
+        return float(slack)
+
+    def is_feasible(self, deadlines: DeadlineFunction) -> bool:
+        """True when running everything at ``q_min`` meets every deadline in the worst case."""
+        return self.minimal_completion_bound(deadlines) >= 0.0
+
+    def rescaled(self, factor: float) -> "ParameterizedSystem":
+        """A copy of the system whose execution times are all multiplied by ``factor``.
+
+        Models porting the same application to a slower (``factor > 1``) or
+        faster (``factor < 1``) platform.
+        """
+        if factor <= 0.0:
+            raise InvalidTimingError(f"rescale factor must be > 0, got {factor}")
+        wc = TimingTable(self.qualities, self.worst_case.values * factor, name="Cwc")
+        av = TimingTable(self.qualities, self.average.values * factor, name="Cav")
+        sampler = self._timing.scenario_sampler
+        if sampler is None:
+            scaled_sampler = None
+        else:
+            def scaled_sampler(rng: np.random.Generator) -> np.ndarray:
+                return np.asarray(sampler(rng), dtype=np.float64) * factor
+
+        return ParameterizedSystem(self._sequence, TimingModel(wc, av, scaled_sampler))
+
+    def truncated(self, n_actions: int) -> "ParameterizedSystem":
+        """A copy keeping only the first ``n_actions`` actions of the cycle."""
+        if not 1 <= n_actions <= self.n_actions:
+            raise ValueError(
+                f"truncation length {n_actions} out of range 1..{self.n_actions}"
+            )
+        sequence = ScheduledSequence(self._sequence.actions[:n_actions])
+        wc = TimingTable(self.qualities, self.worst_case.values[:, :n_actions], name="Cwc")
+        av = TimingTable(self.qualities, self.average.values[:, :n_actions], name="Cav")
+        sampler = self._timing.scenario_sampler
+        if sampler is None:
+            truncated_sampler = None
+        else:
+            def truncated_sampler(rng: np.random.Generator) -> np.ndarray:
+                full = np.asarray(sampler(rng), dtype=np.float64)
+                return full[:, :n_actions]
+
+        return ParameterizedSystem(sequence, TimingModel(wc, av, truncated_sampler))
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def draw_scenario(self, rng: np.random.Generator) -> ActualTimeScenario:
+        """Draw the actual execution times of one cycle (all levels x actions)."""
+        return self._timing.sample_scenario(rng)
+
+    def sample_actual_times(
+        self,
+        qualities: Sequence[int] | np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Draw actual execution times for a full cycle at the given quality levels.
+
+        ``qualities`` holds one quality *level* per action; the result is
+        clipped into ``[0, C^wc]``.
+        """
+        levels = np.asarray(qualities, dtype=np.int64)
+        if levels.shape != (self.n_actions,):
+            raise ValueError(
+                f"expected {self.n_actions} quality levels, got shape {levels.shape}"
+            )
+        rows = levels - self.qualities.minimum
+        if rows.min(initial=0) < 0 or rows.max(initial=0) >= len(self.qualities):
+            raise ValueError("quality levels outside the system's quality set")
+        return self._timing.sample_actual(rows, rng)

@@ -1,0 +1,219 @@
+"""The ``t^D`` table — the central object of the quality-management policy.
+
+For a policy ``C^D`` and a deadline function ``D``, the paper defines
+
+    ``t^D(s_i, q) = min_{i+1 <= k <= n, a_k constrained} D(a_k) - C^D(a_{i+1} .. a_k, q)``
+
+as the latest actual time at state ``s_i`` (i.e. after ``i`` completed
+actions) from which completing the rest of the cycle at quality ``q`` is
+still estimated to meet every remaining deadline.  The Quality Manager picks
+``max { q | t^D(s_i, q) >= t_i }``.
+
+Key properties relied on throughout the library (and checked by the test
+suite):
+
+* ``t^D(s_i, q)`` is non-increasing in ``q`` (higher quality, less slack);
+* for the mixed policy, ``t^D(s_i, q)`` is non-decreasing in ``i`` along a
+  cycle (as work gets done, the latest admissible start time moves right) —
+  this is what makes Proposition 3's relaxation lower bound tight;
+* the quality regions of Proposition 2 are exactly the intervals between
+  consecutive ``t^D`` values at one state.
+
+The table is computed once per (system, deadlines, policy) triple with
+vectorised suffix scans: ``O(|A| * |Q| * |deadlines|)`` time, ``O(|A| * |Q|)``
+memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .deadlines import DeadlineFunction
+from .policy import MixedPolicy, QualityManagementPolicy
+from .system import ParameterizedSystem
+from .types import InfeasibleSystemError
+
+__all__ = ["TDTable", "compute_td_table"]
+
+
+class TDTable:
+    """Dense table of ``t^D(s_i, q)`` values.
+
+    ``values[qi, i]`` holds ``t^D(s_i, q)`` for the quality level with row
+    index ``qi`` and the state with ``i`` completed actions,
+    ``i = 0 .. n-1`` (state ``n`` has no next action, hence no column).
+
+    The table also implements the numeric Quality Manager's choice rule and
+    is the raw material from which quality regions (Proposition 2) and
+    control relaxation regions (Proposition 3) are derived.
+    """
+
+    __slots__ = ("_system", "_deadlines", "_policy", "_values")
+
+    def __init__(
+        self,
+        system: ParameterizedSystem,
+        deadlines: DeadlineFunction,
+        policy: QualityManagementPolicy,
+        values: np.ndarray,
+    ) -> None:
+        expected = (len(system.qualities), system.n_actions)
+        if values.shape != expected:
+            raise ValueError(f"t^D table must have shape {expected}, got {values.shape}")
+        self._system = system
+        self._deadlines = deadlines
+        self._policy = policy
+        self._values = np.asarray(values, dtype=np.float64)
+        self._values.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def system(self) -> ParameterizedSystem:
+        """The parameterized system the table was computed for."""
+        return self._system
+
+    @property
+    def deadlines(self) -> DeadlineFunction:
+        """The deadline function the table was computed for."""
+        return self._deadlines
+
+    @property
+    def policy(self) -> QualityManagementPolicy:
+        """The quality-management policy used to compute the table."""
+        return self._policy
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only array of shape ``(n_levels, n_actions)``."""
+        return self._values
+
+    @property
+    def n_states(self) -> int:
+        """Number of states with a next action (``n``)."""
+        return int(self._values.shape[1])
+
+    @property
+    def n_levels(self) -> int:
+        """Number of quality levels."""
+        return int(self._values.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"TDTable(levels={self.n_levels}, states={self.n_states}, policy={self._policy.name})"
+
+    def td(self, state_index: int, quality: int) -> float:
+        """``t^D(s_i, q)`` for a single state and quality level."""
+        if not 0 <= state_index < self.n_states:
+            raise IndexError(
+                f"state index {state_index} out of range 0..{self.n_states - 1}"
+            )
+        return float(self._values[self._system.qualities.index_of(quality), state_index])
+
+    def column(self, state_index: int) -> np.ndarray:
+        """All ``t^D(s_i, q)`` values for one state, lowest quality first."""
+        if not 0 <= state_index < self.n_states:
+            raise IndexError(
+                f"state index {state_index} out of range 0..{self.n_states - 1}"
+            )
+        return self._values[:, state_index]
+
+    # ------------------------------------------------------------------ #
+    # the numeric quality-manager choice
+    # ------------------------------------------------------------------ #
+    def choose_quality(self, state_index: int, time: float) -> int:
+        """``Γ(s_i, t_i) = max { q | t^D(s_i, q) >= t_i }``.
+
+        When no quality satisfies the constraint (the system is late beyond
+        what even the minimal quality can absorb — possible only for unsafe
+        policies or infeasible systems), the minimal quality is returned as a
+        best-effort fallback, mirroring the behaviour of the authors'
+        implementation.
+        """
+        column = self.column(state_index)
+        eligible = np.flatnonzero(column >= time)
+        if eligible.size == 0:
+            return self._system.qualities.minimum
+        return self._system.qualities.level_at(int(eligible[-1]))
+
+    def choose_quality_row(self, state_index: int, time: float) -> int:
+        """Row index (0-based) variant of :meth:`choose_quality`."""
+        return self._system.qualities.index_of(self.choose_quality(state_index, time))
+
+    # ------------------------------------------------------------------ #
+    # structural checks (used by validation and the property tests)
+    # ------------------------------------------------------------------ #
+    def is_monotone_in_quality(self, *, tolerance: float = 1e-9) -> bool:
+        """True when every column is non-increasing in the quality level."""
+        if self.n_levels < 2:
+            return True
+        return bool(np.all(np.diff(self._values, axis=0) <= tolerance))
+
+    def initial_feasibility_margin(self) -> float:
+        """``t^D(s_0, q_min)``: the slack available before the first action.
+
+        The controlled system can be started safely iff this is >= 0 (for a
+        safety-guaranteeing policy).
+        """
+        return float(self._values[0, 0])
+
+
+def compute_td_table(
+    system: ParameterizedSystem,
+    deadlines: DeadlineFunction,
+    policy: QualityManagementPolicy | None = None,
+    *,
+    require_feasible: bool = True,
+) -> TDTable:
+    """Compute the full ``t^D`` table for a system, deadlines and policy.
+
+    Parameters
+    ----------
+    system:
+        The parameterized system.
+    deadlines:
+        The deadline function; every constrained action index must exist in
+        the system and the last action should be constrained for the problem
+        to be well posed (checked when ``require_feasible``).
+    policy:
+        The quality-management policy; defaults to the paper's
+        :class:`~repro.core.policy.MixedPolicy`.
+    require_feasible:
+        When true (default), raise :class:`InfeasibleSystemError` if even the
+        minimal quality cannot guarantee the deadlines from the initial state
+        under the chosen policy.
+    """
+    if policy is None:
+        policy = MixedPolicy()
+    n = system.n_actions
+    n_levels = len(system.qualities)
+    if deadlines.last_constrained_index > n:
+        raise InfeasibleSystemError(
+            f"deadline attached to action {deadlines.last_constrained_index} "
+            f"but the system has only {n} actions"
+        )
+
+    values = np.full((n_levels, n), np.inf, dtype=np.float64)
+    for k, deadline in deadlines:
+        # C^D(a_{i+1}..a_k, q) for i = 0..k-1, all levels: shape (n_levels, k)
+        costs = policy.horizon_costs(system.timing, k)
+        candidate = deadline - costs
+        # this deadline constrains states 0 .. k-1 only
+        np.minimum(values[:, :k], candidate, out=values[:, :k])
+
+    if not np.all(np.isfinite(values)):
+        # Some state has no remaining constrained action — only possible when
+        # the last action carries no deadline.  The manager would be
+        # unconstrained there; treat as ill-posed.
+        raise InfeasibleSystemError(
+            "every state must be covered by at least one remaining deadline; "
+            "attach a deadline to the last action of the cycle"
+        )
+
+    table = TDTable(system, deadlines, policy, values)
+    if require_feasible and policy.guarantees_safety and table.initial_feasibility_margin() < 0.0:
+        raise InfeasibleSystemError(
+            "the system cannot meet its deadlines even at the minimal quality: "
+            f"t^D(s_0, q_min) = {table.initial_feasibility_margin():.6g} < 0"
+        )
+    return table

@@ -1,0 +1,399 @@
+"""Execution-time functions of parameterized systems.
+
+The paper characterises a parameterized system by three timing functions
+(Definition 1):
+
+* the worst-case execution time ``C^wc(a, q)``, non-decreasing in ``q``;
+* the average execution time ``C^av(a, q)``, non-decreasing in ``q``, used by
+  the mixed policy to improve smoothness;
+* the *actual* execution time ``C(a, q)``, unknown in advance, bounded by the
+  worst case: ``C(a, q) <= C^wc(a, q)``.
+
+This module provides a small hierarchy of timing functions backed by dense
+NumPy tables (`levels x actions`), because every policy computation in the
+library reduces to prefix/suffix sums over such tables.  The tables are
+validated on construction (non-negativity, monotonicity in quality) so the
+rest of the library can assume the model's hypotheses hold.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from .types import InvalidTimingError, QualitySet
+
+__all__ = [
+    "TimingTable",
+    "build_table",
+    "scaled_table",
+    "blend_tables",
+    "ActualTimeScenario",
+    "TimingModel",
+]
+
+
+class TimingTable:
+    """A dense execution-time table ``C(a_i, q)`` for one timing function.
+
+    The table stores one row per quality level (lowest level first) and one
+    column per action (execution order).  It is the concrete representation
+    used for ``C^wc`` and ``C^av``; actual execution times are produced by a
+    :class:`~repro.core.system.ParameterizedSystem` sampler and are not stored
+    here because they change on every run.
+
+    Parameters
+    ----------
+    qualities:
+        The quality set the rows correspond to.
+    values:
+        Array of shape ``(len(qualities), n_actions)`` with non-negative
+        entries, non-decreasing along the quality axis.
+    name:
+        Label used in error messages and reports (e.g. ``"Cwc"``).
+    """
+
+    __slots__ = ("_qualities", "_values", "_name", "_prefix")
+
+    def __init__(
+        self,
+        qualities: QualitySet,
+        values: np.ndarray,
+        *,
+        name: str = "C",
+        validate: bool = True,
+    ) -> None:
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 2:
+            raise InvalidTimingError(
+                f"{name}: timing table must be 2-D (levels x actions), got shape {array.shape}"
+            )
+        if array.shape[0] != len(qualities):
+            raise InvalidTimingError(
+                f"{name}: table has {array.shape[0]} quality rows, "
+                f"but the quality set has {len(qualities)} levels"
+            )
+        if validate:
+            if not np.all(np.isfinite(array)):
+                raise InvalidTimingError(f"{name}: timing values must be finite")
+            if np.any(array < 0.0):
+                raise InvalidTimingError(f"{name}: timing values must be non-negative")
+            if array.shape[0] > 1 and np.any(np.diff(array, axis=0) < -1e-12):
+                raise InvalidTimingError(
+                    f"{name}: execution times must be non-decreasing in the quality level"
+                )
+        self._qualities = qualities
+        self._values = array
+        self._values.setflags(write=False)
+        self._name = name
+        # Prefix sums with a leading zero column: prefix[q, i] = sum of the
+        # first i actions at level q.  Shared by every policy computation.
+        prefix = np.zeros((array.shape[0], array.shape[1] + 1), dtype=np.float64)
+        np.cumsum(array, axis=1, out=prefix[:, 1:])
+        prefix.setflags(write=False)
+        self._prefix = prefix
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def qualities(self) -> QualitySet:
+        """The quality set indexing the rows."""
+        return self._qualities
+
+    @property
+    def name(self) -> str:
+        """Label of the timing function (``"Cwc"``, ``"Cav"`` ...)."""
+        return self._name
+
+    @property
+    def n_actions(self) -> int:
+        """Number of actions (columns)."""
+        return int(self._values.shape[1])
+
+    @property
+    def values(self) -> np.ndarray:
+        """The read-only ``(levels, actions)`` array."""
+        return self._values
+
+    @property
+    def prefix(self) -> np.ndarray:
+        """Read-only prefix sums, shape ``(levels, actions + 1)``.
+
+        ``prefix[qi, i]`` is the total time of actions ``a_1 .. a_i`` at the
+        quality level with row index ``qi``; ``prefix[:, 0]`` is zero.
+        """
+        return self._prefix
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TimingTable)
+            and other._qualities == self._qualities
+            and np.array_equal(other._values, self._values)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"TimingTable(name={self._name!r}, levels={len(self._qualities)}, "
+            f"actions={self.n_actions})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries in the paper's notation
+    # ------------------------------------------------------------------ #
+    def of(self, action_index: int, quality: int) -> float:
+        """``C(a_i, q)`` for a single action (1-based ``action_index``)."""
+        if not 1 <= action_index <= self.n_actions:
+            raise IndexError(
+                f"action index {action_index} out of range 1..{self.n_actions}"
+            )
+        qi = self._qualities.index_of(quality)
+        return float(self._values[qi, action_index - 1])
+
+    def row(self, quality: int) -> np.ndarray:
+        """The per-action times at one quality level, shape ``(n_actions,)``."""
+        return self._values[self._qualities.index_of(quality)]
+
+    def total(self, first: int, last: int, quality: int) -> float:
+        """``C(a_first .. a_last, q)``: total time of an action range (1-based, inclusive).
+
+        Returns 0 when the range is empty (``first > last``), matching the
+        convention used throughout the paper's summations.
+        """
+        if first > last:
+            return 0.0
+        if first < 1 or last > self.n_actions:
+            raise IndexError(
+                f"range {first}..{last} out of bounds for {self.n_actions} actions"
+            )
+        qi = self._qualities.index_of(quality)
+        return float(self._prefix[qi, last] - self._prefix[qi, first - 1])
+
+    def suffix_totals(self, quality: int) -> np.ndarray:
+        """``C(a_{i+1} .. a_n, q)`` for every state index ``i`` in ``0..n``.
+
+        Entry ``i`` is the remaining work after ``i`` completed actions; the
+        last entry is 0.
+        """
+        qi = self._qualities.index_of(quality)
+        total = self._prefix[qi, -1]
+        return total - self._prefix[qi]
+
+    def with_name(self, name: str) -> "TimingTable":
+        """Return the same table under a different label."""
+        return TimingTable(self._qualities, self._values, name=name, validate=False)
+
+    def dominates(self, other: "TimingTable", *, tolerance: float = 1e-9) -> bool:
+        """True when this table is entry-wise >= ``other`` (``C^wc`` vs ``C^av``)."""
+        if other.n_actions != self.n_actions or other.qualities != self.qualities:
+            return False
+        return bool(np.all(self._values + tolerance >= other._values))
+
+
+def build_table(
+    qualities: QualitySet,
+    per_action: Sequence[Mapping[int, float]] | Sequence[Sequence[float]],
+    *,
+    name: str = "C",
+) -> TimingTable:
+    """Build a :class:`TimingTable` from per-action specifications.
+
+    ``per_action`` holds one entry per action, either a mapping
+    ``{quality: time}`` covering every level of ``qualities`` or a sequence of
+    times ordered from the lowest to the highest level.
+    """
+    n_levels = len(qualities)
+    columns: list[list[float]] = []
+    for position, spec in enumerate(per_action, start=1):
+        if isinstance(spec, Mapping):
+            try:
+                column = [float(spec[level]) for level in qualities]
+            except KeyError as missing:
+                raise InvalidTimingError(
+                    f"{name}: action {position} is missing quality level {missing.args[0]}"
+                ) from None
+        else:
+            column = [float(v) for v in spec]
+            if len(column) != n_levels:
+                raise InvalidTimingError(
+                    f"{name}: action {position} provides {len(column)} times, "
+                    f"expected {n_levels}"
+                )
+        columns.append(column)
+    values = np.array(columns, dtype=np.float64).T if columns else np.zeros((n_levels, 0))
+    return TimingTable(qualities, values, name=name)
+
+
+def scaled_table(table: TimingTable, factor: float, *, name: str | None = None) -> TimingTable:
+    """Return a copy of ``table`` with every entry multiplied by ``factor``.
+
+    Used to derive worst-case estimates from average estimates (or vice versa)
+    and to model platforms of different speeds.
+    """
+    if factor < 0.0:
+        raise InvalidTimingError(f"scaling factor must be non-negative, got {factor}")
+    return TimingTable(
+        table.qualities,
+        table.values * float(factor),
+        name=name or table.name,
+        validate=False,
+    )
+
+
+def blend_tables(
+    first: TimingTable,
+    second: TimingTable,
+    weight: float,
+    *,
+    name: str = "Cblend",
+) -> TimingTable:
+    """Convex combination ``weight * first + (1 - weight) * second``.
+
+    Useful for sensitivity studies on the quality of the average estimate
+    (e.g. blending the true average with the worst case).
+    """
+    if not 0.0 <= weight <= 1.0:
+        raise InvalidTimingError(f"blend weight must lie in [0, 1], got {weight}")
+    if first.qualities != second.qualities or first.n_actions != second.n_actions:
+        raise InvalidTimingError("blended tables must share shape and quality set")
+    values = weight * first.values + (1.0 - weight) * second.values
+    return TimingTable(first.qualities, values, name=name)
+
+
+class ActualTimeScenario:
+    """Actual execution times ``C(a, q)`` for one cycle, for every level.
+
+    Because the quality of each action is only decided on-line by the Quality
+    Manager, a scenario stores the actual time the action *would* take at
+    every quality level (a ``(levels, actions)`` matrix, already clipped into
+    ``[0, C^wc]`` and forced non-decreasing in quality).  The executor reads
+    the row matching the chosen level as the cycle unfolds.
+    """
+
+    __slots__ = ("_qualities", "_matrix")
+
+    def __init__(self, qualities: QualitySet, matrix: np.ndarray) -> None:
+        array = np.asarray(matrix, dtype=np.float64)
+        if array.ndim != 2 or array.shape[0] != len(qualities):
+            raise InvalidTimingError(
+                f"scenario matrix must have shape (levels, actions), got {array.shape}"
+            )
+        self._qualities = qualities
+        self._matrix = array
+        self._matrix.setflags(write=False)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Read-only ``(levels, actions)`` matrix of actual times."""
+        return self._matrix
+
+    @property
+    def n_actions(self) -> int:
+        """Number of actions in the cycle."""
+        return int(self._matrix.shape[1])
+
+    def actual_time(self, action_index: int, quality: int) -> float:
+        """``C(a_i, q)`` for this cycle (1-based ``action_index``)."""
+        if not 1 <= action_index <= self.n_actions:
+            raise IndexError(
+                f"action index {action_index} out of range 1..{self.n_actions}"
+            )
+        return float(self._matrix[self._qualities.index_of(quality), action_index - 1])
+
+    def times_for(self, quality_rows: np.ndarray) -> np.ndarray:
+        """Per-action actual times for a vector of 0-based quality row indices."""
+        rows = np.asarray(quality_rows, dtype=np.intp)
+        return self._matrix[rows, np.arange(self.n_actions)]
+
+
+class TimingModel:
+    """A pair of (worst-case, average) timing tables plus an actual-time sampler.
+
+    This bundles the three timing functions of Definition 1.  The sampler
+    produces one :class:`ActualTimeScenario` per cycle; the result is always
+    clipped into ``[0, C^wc]`` and made non-decreasing along the quality axis,
+    so a sloppy sampler can never break the model's hypotheses.
+
+    Parameters
+    ----------
+    worst_case:
+        The ``C^wc`` table.
+    average:
+        The ``C^av`` table.  Must be dominated by ``worst_case``.
+    scenario_sampler:
+        Optional callable ``rng -> matrix`` returning a ``(levels, actions)``
+        array of raw actual times for one cycle.  When omitted, actual times
+        equal the average times (the paper's "ideal" case ``C = C^av``).
+    """
+
+    __slots__ = ("worst_case", "average", "_sampler")
+
+    def __init__(
+        self,
+        worst_case: TimingTable,
+        average: TimingTable,
+        scenario_sampler: Callable[[np.random.Generator], np.ndarray] | None = None,
+    ) -> None:
+        if worst_case.qualities != average.qualities:
+            raise InvalidTimingError("Cwc and Cav must share the same quality set")
+        if worst_case.n_actions != average.n_actions:
+            raise InvalidTimingError("Cwc and Cav must cover the same action sequence")
+        if not worst_case.dominates(average):
+            raise InvalidTimingError("Cav must be dominated by Cwc (Cav <= Cwc)")
+        self.worst_case = worst_case
+        self.average = average
+        self._sampler = scenario_sampler
+
+    @property
+    def qualities(self) -> QualitySet:
+        """Quality set shared by both tables."""
+        return self.worst_case.qualities
+
+    @property
+    def n_actions(self) -> int:
+        """Number of actions covered by the model."""
+        return self.worst_case.n_actions
+
+    @property
+    def scenario_sampler(self) -> Callable[[np.random.Generator], np.ndarray] | None:
+        """The raw scenario sampler, or ``None`` when actual times equal ``C^av``."""
+        return self._sampler
+
+    def sample_scenario(self, rng: np.random.Generator) -> ActualTimeScenario:
+        """Draw the actual execution times of one cycle.
+
+        The raw sample is clipped into ``[0, C^wc]`` and forced non-decreasing
+        along the quality axis (a running maximum), enforcing Definition 1.
+        """
+        if self._sampler is None:
+            raw = self.average.values
+        else:
+            raw = np.asarray(self._sampler(rng), dtype=np.float64)
+            if raw.shape != self.worst_case.values.shape:
+                raise InvalidTimingError(
+                    "scenario sampler must return a (levels, actions) matrix matching Cwc"
+                )
+        clipped = np.clip(raw, 0.0, self.worst_case.values)
+        monotone = np.maximum.accumulate(clipped, axis=0)
+        # the running maximum can push values above Cwc at higher levels when
+        # the worst case itself is not strictly increasing; clip again.
+        monotone = np.minimum(monotone, self.worst_case.values)
+        return ActualTimeScenario(self.qualities, monotone)
+
+    def sample_actual(
+        self,
+        quality_rows: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Draw actual execution times for a cycle run at fixed per-action levels.
+
+        ``quality_rows`` holds the 0-based quality row index chosen for every
+        action.  Convenience wrapper over :meth:`sample_scenario`.
+        """
+        rows = np.asarray(quality_rows, dtype=np.intp)
+        if rows.shape != (self.n_actions,):
+            raise ValueError(
+                f"expected one quality row per action ({self.n_actions}), got shape {rows.shape}"
+            )
+        return self.sample_scenario(rng).times_for(rows)

@@ -1,0 +1,259 @@
+"""Fundamental types of the quality-management model.
+
+The paper models the application software as an *already scheduled* finite
+sequence of actions ``a_1 .. a_n`` (Definition 1).  Each action is an atomic
+block of code whose execution time depends on a per-action integer *quality
+level*.  This module defines the small, immutable value objects shared by the
+rest of the library:
+
+* :class:`Action` — a named, indexed action of the scheduled sequence.
+* :class:`ScheduledSequence` — the ordered action sequence ``(A, S)``.
+* :class:`SystemState` — a point ``(s_i, t_i)`` of the timed execution.
+* :class:`QualitySet` — the finite, contiguous set of integer quality levels.
+* Exceptions raised by the library.
+
+Design note: indices follow the paper's convention.  State ``s_0`` is the
+initial state (no action executed yet); executing action ``a_i`` (1-based)
+moves the system from ``s_{i-1}`` to ``s_i``.  Internally arrays are 0-based;
+``state_index`` ``i`` always means "``i`` actions have completed".
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+__all__ = [
+    "Action",
+    "ScheduledSequence",
+    "SystemState",
+    "QualitySet",
+    "QualityManagementError",
+    "InfeasibleSystemError",
+    "DeadlineMissError",
+    "InvalidTimingError",
+]
+
+
+class QualityManagementError(Exception):
+    """Base class for all errors raised by the quality-management library."""
+
+
+class InfeasibleSystemError(QualityManagementError):
+    """Raised when no quality assignment can meet the deadlines.
+
+    The mixed policy guarantees safety only if running every remaining action
+    at the minimal quality level meets every remaining deadline from the
+    initial state.  When that pre-condition fails the system is infeasible and
+    the compiler / manager refuses to produce a controller.
+    """
+
+
+class DeadlineMissError(QualityManagementError):
+    """Raised by the trace auditor when a produced trace misses a deadline."""
+
+
+class InvalidTimingError(QualityManagementError):
+    """Raised when a timing function violates the model's assumptions.
+
+    The model requires execution times to be non-negative, non-decreasing in
+    the quality level, and the actual execution time to be bounded by the
+    worst case (``C(a, q) <= C^wc(a, q)``).
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """A single atomic action of the scheduled application software.
+
+    Parameters
+    ----------
+    index:
+        1-based position of the action in the scheduled sequence (the paper's
+        subscript ``i`` of ``a_i``).
+    name:
+        Human-readable identifier, e.g. ``"frame3/mb42/dct"``.
+    group:
+        Optional label of the larger unit the action belongs to (a frame, a
+        macroblock, a pipeline stage).  Used only for reporting.
+    """
+
+    index: int
+    name: str
+    group: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError(f"action index must be >= 1, got {self.index}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name or f"a{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class SystemState:
+    """A timed state ``(s_i, t_i)`` of a parameterized system.
+
+    ``index`` is the number of actions already completed (so ``index == 0``
+    is the initial state and ``index == n`` the final state of a cycle).
+    ``time`` is the actual elapsed time ``t_i`` since the start of the cycle.
+    """
+
+    index: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"state index must be >= 0, got {self.index}")
+        if self.time < 0.0:
+            raise ValueError(f"state time must be >= 0, got {self.time}")
+
+    def advanced(self, elapsed: float) -> "SystemState":
+        """Return the successor state after one action taking ``elapsed`` time."""
+        return SystemState(self.index + 1, self.time + elapsed)
+
+
+class QualitySet:
+    """The finite set of integer quality levels ``Q = {q_min, .., q_max}``.
+
+    The paper assumes a finite set of integer quality levels; execution times
+    are non-decreasing in the level.  The set is contiguous, which matches the
+    paper's experiments (``Q = {0..6}``) and keeps region tables dense.
+
+    Parameters
+    ----------
+    minimum:
+        Smallest (cheapest, lowest-quality) level ``q_min``.
+    maximum:
+        Largest (most expensive, highest-quality) level ``q_max``.
+    """
+
+    __slots__ = ("_minimum", "_maximum")
+
+    def __init__(self, minimum: int, maximum: int) -> None:
+        if maximum < minimum:
+            raise ValueError(
+                f"quality set requires maximum >= minimum, got [{minimum}, {maximum}]"
+            )
+        self._minimum = int(minimum)
+        self._maximum = int(maximum)
+
+    @classmethod
+    def of_size(cls, count: int, *, start: int = 0) -> "QualitySet":
+        """Build a quality set of ``count`` consecutive levels starting at ``start``."""
+        if count < 1:
+            raise ValueError(f"quality set needs at least one level, got {count}")
+        return cls(start, start + count - 1)
+
+    @property
+    def minimum(self) -> int:
+        """The minimal quality level ``q_min`` (used by the safe policy)."""
+        return self._minimum
+
+    @property
+    def maximum(self) -> int:
+        """The maximal quality level ``q_max``."""
+        return self._maximum
+
+    def __len__(self) -> int:
+        return self._maximum - self._minimum + 1
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._minimum, self._maximum + 1))
+
+    def __contains__(self, level: object) -> bool:
+        if isinstance(level, bool) or not isinstance(level, numbers.Integral):
+            return False
+        return self._minimum <= int(level) <= self._maximum
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, QualitySet)
+            and other._minimum == self._minimum
+            and other._maximum == self._maximum
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._minimum, self._maximum))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"QualitySet({self._minimum}, {self._maximum})"
+
+    def clamp(self, level: int) -> int:
+        """Clamp an arbitrary integer into the quality set."""
+        return max(self._minimum, min(self._maximum, int(level)))
+
+    def index_of(self, level: int) -> int:
+        """0-based array index of a quality level (used by the tables)."""
+        if level not in self:
+            raise ValueError(f"quality level {level} not in {self!r}")
+        return level - self._minimum
+
+    def level_at(self, index: int) -> int:
+        """Inverse of :meth:`index_of`."""
+        if not 0 <= index < len(self):
+            raise ValueError(f"quality index {index} out of range for {self!r}")
+        return self._minimum + index
+
+    def levels(self) -> list[int]:
+        """All levels as a list, lowest first."""
+        return list(self)
+
+
+@dataclass(frozen=True)
+class ScheduledSequence:
+    """The scheduled application software ``(A, S)``: an ordered action list.
+
+    The sequence owns the actions in execution order.  It is deliberately a
+    thin container — timing information lives in the
+    :class:`~repro.core.timing.ExecutionTimeFunction` objects and deadline
+    information in :class:`~repro.core.deadlines.DeadlineFunction` so that the
+    same action sequence can be profiled on several platforms.
+    """
+
+    actions: tuple[Action, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for position, action in enumerate(self.actions, start=1):
+            if action.index != position:
+                raise ValueError(
+                    "actions must be numbered consecutively from 1: "
+                    f"position {position} holds action index {action.index}"
+                )
+
+    @classmethod
+    def from_names(cls, names: Sequence[str], *, group: str = "") -> "ScheduledSequence":
+        """Build a sequence from action names, indexing them 1..n."""
+        return cls(
+            tuple(Action(index=i, name=name, group=group) for i, name in enumerate(names, 1))
+        )
+
+    @classmethod
+    def uniform(cls, count: int, *, prefix: str = "a") -> "ScheduledSequence":
+        """Build a sequence of ``count`` synthetic actions named ``prefix1..prefixN``."""
+        if count < 1:
+            raise ValueError(f"a scheduled sequence needs at least one action, got {count}")
+        return cls.from_names([f"{prefix}{i}" for i in range(1, count + 1)])
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self) -> Iterator[Action]:
+        return iter(self.actions)
+
+    def __getitem__(self, index_1based: int) -> Action:
+        """Return action ``a_i`` using the paper's 1-based indexing."""
+        if not 1 <= index_1based <= len(self.actions):
+            raise IndexError(
+                f"action index {index_1based} out of range 1..{len(self.actions)}"
+            )
+        return self.actions[index_1based - 1]
+
+    def names(self) -> list[str]:
+        """All action names in execution order."""
+        return [action.name for action in self.actions]
+
+    def groups(self) -> list[str]:
+        """Group label of every action in execution order."""
+        return [action.group for action in self.actions]

@@ -1,0 +1,53 @@
+"""Constants of the paper's experimental setup and reported reference values.
+
+Everything the evaluation section states numerically is collected here so the
+experiment modules and EXPERIMENTS.md compare against a single source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PaperSetup", "PaperReference", "PAPER_SETUP", "PAPER_REFERENCE"]
+
+
+@dataclass(frozen=True, slots=True)
+class PaperSetup:
+    """The experimental configuration of §4.1."""
+
+    n_actions: int = 1_189
+    n_levels: int = 7
+    deadline_seconds: float = 30.0
+    n_frames: int = 29
+    macroblocks_per_frame: int = 396
+    frame_width: int = 352
+    frame_height: int = 288
+    relaxation_steps: tuple[int, ...] = (1, 10, 20, 30, 40, 50)
+
+
+@dataclass(frozen=True, slots=True)
+class PaperReference:
+    """The numbers the paper reports (used as expected shapes, not exact targets)."""
+
+    #: stored integers of the quality-region tables (§4.1)
+    region_integers: int = 8_323
+    #: stored integers of the control-relaxation tables (§4.1)
+    relaxation_integers: int = 99_876
+    #: reported memory overhead on the iPod, in KB (includes runtime structures)
+    region_memory_kb: int = 300
+    relaxation_memory_kb: int = 800
+    #: execution-time overhead of the three managers, in percent (§4.2)
+    overhead_numeric_pct: float = 5.7
+    overhead_region_pct: float = 1.9
+    overhead_relaxation_pct: float = 1.1
+    #: the action window shown in Figure 8
+    fig8_first_action: int = 200
+    fig8_last_action: int = 700
+    #: relaxation step counts observed along Figure 8's window
+    fig8_observed_steps: tuple[int, ...] = (40, 1, 10)
+    #: approximate range of the average quality level in Figure 7
+    fig7_quality_range: tuple[float, float] = (3.0, 4.5)
+
+
+PAPER_SETUP = PaperSetup()
+PAPER_REFERENCE = PaperReference()

@@ -1,0 +1,105 @@
+"""Experiment E5 — the conceptual figures 3–6: speed-diagram geometry.
+
+Figures 3–6 of the paper are not measurements but geometric illustrations:
+the speed diagram with its ideal/optimal speed vectors (Figure 3), a quality
+region (Figure 4), the control-relaxation principle (Figure 5) and a control
+relaxation region (Figure 6).  This experiment regenerates the underlying
+data from a compiled encoder controller: a trajectory of one executed frame,
+the region borders of every quality level, the relaxation-region bounds, and
+a numerical verification of Proposition 1 (the geometric and constraint-based
+characterisations agree) over a grid of sampled states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.diagrams import render_speed_diagram
+from repro.core.compiler import QualityManagerCompiler
+from repro.core.controller import run_cycle
+from repro.core.speed import SpeedDiagram
+from repro.core.system import CycleOutcome
+from repro.media.workload import EncoderWorkload, small_encoder
+
+__all__ = ["DiagramExperimentResult", "run_diagram_experiment"]
+
+
+@dataclass(frozen=True)
+class DiagramExperimentResult:
+    """Speed-diagram data series and the Proposition 1 verification outcome."""
+
+    diagram: SpeedDiagram
+    outcome: CycleOutcome
+    trajectory: dict[str, np.ndarray]
+    region_borders: dict[int, dict[str, np.ndarray]]
+    proposition1_checked: int
+    proposition1_agreements: int
+
+    @property
+    def proposition1_holds(self) -> bool:
+        """True when the two characterisations agreed at every sampled state."""
+        return self.proposition1_checked == self.proposition1_agreements
+
+    def render(self) -> str:
+        """ASCII speed diagram plus the verification summary."""
+        picture = render_speed_diagram(
+            self.diagram,
+            self.outcome,
+            qualities_to_show=sorted(self.region_borders)[:3],
+        )
+        summary = (
+            f"Proposition 1 verified at {self.proposition1_agreements}/"
+            f"{self.proposition1_checked} sampled (state, quality) pairs"
+        )
+        return picture + "\n" + summary
+
+
+def run_diagram_experiment(
+    workload: EncoderWorkload | None = None,
+    *,
+    seed: int = 0,
+    samples_per_state: int = 3,
+    state_stride: int | None = None,
+) -> DiagramExperimentResult:
+    """Build the speed diagram of an encoder cycle and verify Proposition 1.
+
+    The verification samples actual times around each state's region
+    boundaries (below, at, above) for every quality level and checks that the
+    speed-based and constraint-based admissibility tests agree.
+    """
+    wl = workload if workload is not None else small_encoder(seed=seed)
+    system = wl.build_system()
+    deadlines = wl.deadlines()
+    compiled = QualityManagerCompiler().compile(system, deadlines)
+    diagram = SpeedDiagram(system, deadlines, td_table=compiled.td_table)
+
+    rng = np.random.default_rng(seed)
+    outcome = run_cycle(system, compiled.region, rng=rng)
+    trajectory = diagram.trajectory(outcome)
+    borders = {q: diagram.region_border(q) for q in system.qualities}
+
+    stride = state_stride if state_stride is not None else max(1, system.n_actions // 40)
+    checked = 0
+    agreements = 0
+    for state in range(0, system.n_actions, stride):
+        for quality in system.qualities:
+            boundary = compiled.td_table.td(state, quality)
+            probes = np.linspace(boundary * 0.5, boundary * 1.5, samples_per_state)
+            for probe in probes:
+                if probe < 0:
+                    continue
+                assessment = diagram.assess(state, float(probe), quality)
+                checked += 1
+                if assessment.proposition1_agrees:
+                    agreements += 1
+
+    return DiagramExperimentResult(
+        diagram=diagram,
+        outcome=outcome,
+        trajectory=trajectory,
+        region_borders=borders,
+        proposition1_checked=checked,
+        proposition1_agreements=agreements,
+    )

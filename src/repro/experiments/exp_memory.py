@@ -1,0 +1,70 @@
+"""Experiment E1 — memory footprint of the symbolic tables (§4.1).
+
+The paper characterises quality regions by ``|A| * |Q|`` integers (8,323 for
+the encoder) and control relaxation regions by ``2 * |A| * |Q| * |ρ|``
+integers (99,876).  This experiment compiles the symbolic controllers for the
+paper-scale encoder workload and reports the stored table sizes, which should
+match the formulas (and hence the paper's counts) exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reports import memory_report
+from repro.core.compiler import CompilationReport, QualityManagerCompiler
+from repro.media.workload import EncoderWorkload, paper_encoder
+
+from .config import PAPER_REFERENCE
+
+__all__ = ["MemoryExperimentResult", "run_memory_experiment"]
+
+
+@dataclass(frozen=True)
+class MemoryExperimentResult:
+    """Result of the memory-footprint experiment."""
+
+    report: CompilationReport
+    paper_region_integers: int
+    paper_relaxation_integers: int
+
+    @property
+    def region_matches_paper(self) -> bool:
+        """True when the quality-region table size equals the paper's count."""
+        return self.report.region_integers == self.paper_region_integers
+
+    @property
+    def relaxation_matches_paper(self) -> bool:
+        """True when the relaxation table size equals the paper's count."""
+        return self.report.relaxation_integers == self.paper_relaxation_integers
+
+    def render(self) -> str:
+        """Text report comparing measured sizes against the paper."""
+        lines = [memory_report(self.report), ""]
+        lines.append(
+            f"paper reports {self.paper_region_integers} integers for quality regions "
+            f"(match: {self.region_matches_paper})"
+        )
+        lines.append(
+            f"paper reports {self.paper_relaxation_integers} integers for relaxation regions "
+            f"(match: {self.relaxation_matches_paper})"
+        )
+        return "\n".join(lines)
+
+
+def run_memory_experiment(
+    workload: EncoderWorkload | None = None,
+    *,
+    seed: int = 0,
+) -> MemoryExperimentResult:
+    """Compile the symbolic controllers for the encoder and report table sizes."""
+    wl = workload if workload is not None else paper_encoder(seed=seed)
+    system = wl.build_system()
+    deadlines = wl.deadlines()
+    compiler = QualityManagerCompiler()
+    compiled = compiler.compile(system, deadlines)
+    return MemoryExperimentResult(
+        report=compiled.report,
+        paper_region_integers=PAPER_REFERENCE.region_integers,
+        paper_relaxation_integers=PAPER_REFERENCE.relaxation_integers,
+    )

@@ -1,0 +1,96 @@
+"""Experiment E2 — execution-time overhead of the three Quality Managers (§4.2).
+
+The paper reports, for a 29-frame CIF sequence on the iPod: 5.7 % overhead
+for the numeric manager, 1.9 % for the symbolic manager using quality regions
+and below 1.1 % with control relaxation.  The reproduction runs the three
+managers on identical synthetic-encoder scenarios on the iPod-like virtual
+platform and reports the same quantities.  The expected *shape* is the strict
+ordering numeric > region > relaxation with roughly the paper's ratios; the
+absolute values depend on the overhead calibration, exactly as the paper's
+depend on the iPod.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import QualityMetrics, compute_metrics
+from repro.analysis.reports import overhead_report
+from repro.core.compiler import QualityManagerCompiler
+from repro.media.workload import EncoderWorkload, paper_encoder
+from repro.platform.executor import PlatformExecutor
+from repro.platform.machine import Machine, ipod_video
+
+from .config import PAPER_REFERENCE
+
+__all__ = ["OverheadExperimentResult", "run_overhead_experiment"]
+
+
+@dataclass(frozen=True)
+class OverheadExperimentResult:
+    """Per-manager metrics of the overhead experiment."""
+
+    metrics: dict[str, QualityMetrics]
+    n_frames: int
+    machine_name: str
+
+    @property
+    def overhead_percentages(self) -> dict[str, float]:
+        """Execution-time overhead per manager, in percent."""
+        return {
+            name: 100.0 * metric.overhead_fraction for name, metric in self.metrics.items()
+        }
+
+    @property
+    def ordering_matches_paper(self) -> bool:
+        """True when numeric > region > relaxation overhead, as the paper reports."""
+        pct = self.overhead_percentages
+        return pct["numeric"] > pct["region"] > pct["relaxation"]
+
+    @property
+    def all_safe(self) -> bool:
+        """True when no manager missed any deadline."""
+        return all(metric.is_safe for metric in self.metrics.values())
+
+    def render(self) -> str:
+        """Text report including the paper's reference percentages."""
+        lines = [overhead_report(self.metrics), ""]
+        lines.append(
+            "paper reports: numeric {:.1f} %, regions {:.1f} %, relaxation < {:.1f} %".format(
+                PAPER_REFERENCE.overhead_numeric_pct,
+                PAPER_REFERENCE.overhead_region_pct,
+                PAPER_REFERENCE.overhead_relaxation_pct,
+            )
+        )
+        lines.append(f"overhead ordering matches paper: {self.ordering_matches_paper}")
+        lines.append(f"all managers safe: {self.all_safe}")
+        return "\n".join(lines)
+
+
+def run_overhead_experiment(
+    workload: EncoderWorkload | None = None,
+    *,
+    n_frames: int | None = None,
+    machine: Machine | None = None,
+    seed: int = 0,
+) -> OverheadExperimentResult:
+    """Run the three managers on identical scenarios and measure their overhead."""
+    wl = workload if workload is not None else paper_encoder(seed=seed)
+    frames = n_frames if n_frames is not None else wl.n_frames
+    system = wl.build_system()
+    deadlines = wl.deadlines()
+    compiled = QualityManagerCompiler(relaxation_steps=(1, 10, 20, 30, 40, 50)).compile(
+        system, deadlines
+    )
+    executor = PlatformExecutor(machine if machine is not None else ipod_video())
+    results = executor.compare(
+        system, deadlines, compiled.managers(), n_cycles=frames, seed=seed
+    )
+    metrics = {
+        name: compute_metrics(result.outcomes, deadlines) for name, result in results.items()
+    }
+    return OverheadExperimentResult(
+        metrics=metrics,
+        n_frames=frames,
+        machine_name=executor.machine.name,
+    )

@@ -1,0 +1,26 @@
+"""Extensions: the paper's future-work directions, implemented.
+
+* :mod:`repro.extensions.power` — quality level replaced by CPU frequency,
+  objective replaced by energy minimisation (DVFS).
+* :mod:`repro.extensions.multitask` — several cyclic tasks composed into one
+  hyper-cycle with per-task deadlines.
+* :mod:`repro.extensions.linear_approx` — control relaxation regions
+  approximated by conservative linear constraints (massive table shrinkage).
+"""
+
+from .linear_approx import LinearRelaxationQualityManager, LinearRelaxationTable
+from .multitask import ComposedTaskSet, TaskSpec, compose_tasks, per_task_quality
+from .power import DvfsTask, FrequencyScale, build_dvfs_system, energy_of_outcome
+
+__all__ = [
+    "FrequencyScale",
+    "DvfsTask",
+    "build_dvfs_system",
+    "energy_of_outcome",
+    "TaskSpec",
+    "ComposedTaskSet",
+    "compose_tasks",
+    "per_task_quality",
+    "LinearRelaxationTable",
+    "LinearRelaxationQualityManager",
+]

@@ -1,0 +1,232 @@
+"""The synthetic MPEG-like encoder pipeline.
+
+The paper's application software is an MPEG video encoder of more than 7,000
+lines of C, already scheduled into a sequence of 1,189 actions per cycle
+(frame) with 7 quality levels per action.  The reproduction models the same
+*shape*: every macroblock goes through three pipeline stages — motion
+estimation, transform + quantisation, entropy coding — each of which is one
+schedulable action, plus one frame-finalisation action (headers, rate
+control).  For the paper's CIF input (396 macroblocks) this yields
+``396 * 3 + 1 = 1,189`` actions per frame, exactly the paper's count.
+
+Stage cost behaviour:
+
+* *motion estimation* — dominated by the search range, which grows with the
+  quality level; strongly dependent on motion activity; almost free on I
+  frames (no temporal prediction) and most expensive on B frames (two
+  reference frames);
+* *transform + quantisation* — mildly quality dependent (finer quantisation
+  keeps more coefficients), mildly content dependent;
+* *entropy coding* — grows with the quality level (more coefficients and
+  finer quantisation produce more symbols) and with spatial complexity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.types import Action, ScheduledSequence
+
+from .video import VideoFormat, CIF
+
+__all__ = ["PipelineStage", "EncoderPipeline", "DEFAULT_STAGES", "FRAME_FINALIZE_STAGE"]
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One per-macroblock pipeline stage of the encoder.
+
+    Attributes
+    ----------
+    name:
+        Stage identifier used in action names.
+    base_cost:
+        Average execution time (seconds, on the reference platform) of the
+        stage for one macroblock of average content at the lowest quality.
+    quality_slope:
+        Relative cost increase per quality level: the cost factor at level
+        ``q`` is ``1 + quality_slope * q``.
+    content_weight:
+        How strongly the spatial complexity of the macroblock modulates the
+        actual cost (0 = not at all).
+    motion_weight:
+        How strongly the motion activity modulates the actual cost.
+    frame_type_factors:
+        Multiplicative factor per frame type (``I``/``P``/``B``).
+    worst_case_margin:
+        Extra multiplicative margin of the worst-case estimate above the
+        maximal content/frame-type cost (profiling head-room).
+    """
+
+    name: str
+    base_cost: float
+    quality_slope: float
+    content_weight: float = 0.3
+    motion_weight: float = 0.0
+    frame_type_factors: dict[str, float] = field(
+        default_factory=lambda: {"I": 1.0, "P": 1.0, "B": 1.0}
+    )
+    worst_case_margin: float = 1.1
+
+    def __post_init__(self) -> None:
+        if self.base_cost <= 0.0:
+            raise ValueError(f"{self.name}: base cost must be > 0")
+        if self.quality_slope < 0.0:
+            raise ValueError(f"{self.name}: quality slope must be >= 0")
+        if self.worst_case_margin < 1.0:
+            raise ValueError(f"{self.name}: worst-case margin must be >= 1")
+
+    def quality_factor(self, level: int) -> float:
+        """Cost multiplier of quality level ``level`` (level 0 = 1.0)."""
+        return 1.0 + self.quality_slope * level
+
+    def quality_factors(self, n_levels: int) -> np.ndarray:
+        """Cost multipliers for all levels ``0 .. n_levels-1``."""
+        return 1.0 + self.quality_slope * np.arange(n_levels, dtype=np.float64)
+
+    def content_factor(self, complexity: float | np.ndarray, motion: float | np.ndarray) -> np.ndarray:
+        """Multiplicative content factor for given complexity and motion in ``[0, 1]``.
+
+        Centred so that average content (complexity = motion = 0.5) gives a
+        factor close to 1.
+        """
+        base = 1.0 - 0.5 * (self.content_weight + self.motion_weight)
+        return base + self.content_weight * np.asarray(complexity) + self.motion_weight * np.asarray(motion)
+
+    def max_content_factor(self) -> float:
+        """Largest possible content factor (complexity = motion = 1)."""
+        return float(self.content_factor(1.0, 1.0))
+
+    def mean_content_factor(self) -> float:
+        """Content factor of average content (complexity = motion = 0.5)."""
+        return float(self.content_factor(0.5, 0.5))
+
+    def max_frame_type_factor(self) -> float:
+        """Largest frame-type factor."""
+        return max(self.frame_type_factors.values())
+
+
+#: per-macroblock stages calibrated so a CIF frame at mid quality takes tens of
+#: seconds on the iPod-class reference platform (the paper stresses the iPod
+#: is far too slow for real-time video — the deadline is 30 s per frame).
+DEFAULT_STAGES: tuple[PipelineStage, ...] = (
+    PipelineStage(
+        name="motion_estimation",
+        base_cost=14.0e-3,
+        quality_slope=0.30,
+        content_weight=0.25,
+        motion_weight=0.45,
+        frame_type_factors={"I": 0.30, "P": 1.00, "B": 1.30},
+        worst_case_margin=1.12,
+    ),
+    PipelineStage(
+        name="transform_quantize",
+        base_cost=10.0e-3,
+        quality_slope=0.12,
+        content_weight=0.30,
+        motion_weight=0.05,
+        frame_type_factors={"I": 1.10, "P": 1.00, "B": 0.95},
+        worst_case_margin=1.10,
+    ),
+    PipelineStage(
+        name="entropy_coding",
+        base_cost=8.0e-3,
+        quality_slope=0.22,
+        content_weight=0.45,
+        motion_weight=0.05,
+        frame_type_factors={"I": 1.25, "P": 1.00, "B": 0.90},
+        worst_case_margin=1.12,
+    ),
+)
+
+#: the single frame-level action closing a cycle (headers, rate control)
+FRAME_FINALIZE_STAGE = PipelineStage(
+    name="frame_finalize",
+    base_cost=120.0e-3,
+    quality_slope=0.05,
+    content_weight=0.10,
+    motion_weight=0.0,
+    frame_type_factors={"I": 1.1, "P": 1.0, "B": 1.0},
+    worst_case_margin=1.10,
+)
+
+
+class EncoderPipeline:
+    """The scheduled action structure of one encoder cycle (one frame).
+
+    Parameters
+    ----------
+    video_format:
+        Frame format; determines the macroblock count ``N``.
+    stages:
+        The per-macroblock stages, executed in order for each macroblock.
+    finalize_stage:
+        The frame-level closing action.
+    """
+
+    def __init__(
+        self,
+        video_format: VideoFormat = CIF,
+        stages: tuple[PipelineStage, ...] = DEFAULT_STAGES,
+        finalize_stage: PipelineStage = FRAME_FINALIZE_STAGE,
+    ) -> None:
+        if not stages:
+            raise ValueError("an encoder pipeline needs at least one stage")
+        self._format = video_format
+        self._stages = tuple(stages)
+        self._finalize = finalize_stage
+
+    @property
+    def video_format(self) -> VideoFormat:
+        """The frame format processed by the pipeline."""
+        return self._format
+
+    @property
+    def stages(self) -> tuple[PipelineStage, ...]:
+        """The per-macroblock stages in execution order."""
+        return self._stages
+
+    @property
+    def finalize_stage(self) -> PipelineStage:
+        """The frame-level closing stage."""
+        return self._finalize
+
+    @property
+    def n_macroblocks(self) -> int:
+        """Macroblocks per frame (``N``)."""
+        return self._format.n_macroblocks
+
+    @property
+    def n_actions(self) -> int:
+        """Actions per cycle: one per macroblock and stage, plus finalisation."""
+        return self.n_macroblocks * len(self._stages) + 1
+
+    def action_stages(self) -> list[PipelineStage]:
+        """The stage of every action, in execution order (length ``n_actions``)."""
+        per_macroblock = list(self._stages)
+        result: list[PipelineStage] = []
+        for _ in range(self.n_macroblocks):
+            result.extend(per_macroblock)
+        result.append(self._finalize)
+        return result
+
+    def action_macroblocks(self) -> np.ndarray:
+        """The 0-based macroblock index of every action (-1 for the finalisation)."""
+        per_mb = len(self._stages)
+        indices = np.repeat(np.arange(self.n_macroblocks), per_mb)
+        return np.append(indices, -1)
+
+    def build_sequence(self) -> ScheduledSequence:
+        """The scheduled action sequence of one cycle."""
+        actions: list[Action] = []
+        index = 1
+        for mb in range(self.n_macroblocks):
+            for stage in self._stages:
+                actions.append(
+                    Action(index=index, name=f"mb{mb:04d}/{stage.name}", group=f"mb{mb:04d}")
+                )
+                index += 1
+        actions.append(Action(index=index, name="frame/finalize", group="frame"))
+        return ScheduledSequence(tuple(actions))

@@ -1,0 +1,74 @@
+"""Group-of-pictures (GOP) structures.
+
+MPEG encoders organise frames into GOPs: an intra-coded I frame followed by
+predicted P frames and bidirectional B frames.  The frame type changes how
+much work each pipeline stage does (I frames skip motion estimation, B frames
+search two references), which is one of the sources of execution-time
+variability the Quality Manager has to absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["GopStructure"]
+
+_VALID_TYPES = frozenset("IPB")
+
+
+@dataclass(frozen=True, slots=True)
+class GopStructure:
+    """A repeating frame-type pattern, e.g. ``"IBBPBBPBBPBB"``.
+
+    The default pattern is the classic MPEG-1/2 GOP of length 12 with two B
+    frames between anchors.
+    """
+
+    pattern: str = "IBBPBBPBBPBB"
+
+    def __post_init__(self) -> None:
+        if not self.pattern:
+            raise ValueError("GOP pattern must not be empty")
+        if self.pattern[0] != "I":
+            raise ValueError("a GOP pattern must start with an I frame")
+        invalid = set(self.pattern) - _VALID_TYPES
+        if invalid:
+            raise ValueError(f"invalid frame types in GOP pattern: {sorted(invalid)}")
+
+    @classmethod
+    def intra_only(cls) -> "GopStructure":
+        """All-intra coding (every frame an I frame)."""
+        return cls("I")
+
+    @classmethod
+    def ip_only(cls, gop_length: int = 12) -> "GopStructure":
+        """An IPPP... pattern of the given length (no B frames)."""
+        if gop_length < 1:
+            raise ValueError(f"GOP length must be >= 1, got {gop_length}")
+        return cls("I" + "P" * (gop_length - 1))
+
+    @property
+    def length(self) -> int:
+        """Number of frames in one GOP."""
+        return len(self.pattern)
+
+    def frame_type(self, frame_index: int) -> str:
+        """Frame type (``I``/``P``/``B``) of the frame at a 0-based index."""
+        if frame_index < 0:
+            raise ValueError(f"frame index must be >= 0, got {frame_index}")
+        return self.pattern[frame_index % self.length]
+
+    def types(self) -> Iterator[str]:
+        """An infinite iterator of frame types following the pattern."""
+        index = 0
+        while True:
+            yield self.frame_type(index)
+            index += 1
+
+    def count_types(self, n_frames: int) -> dict[str, int]:
+        """How many frames of each type appear in the first ``n_frames``."""
+        counts = {"I": 0, "P": 0, "B": 0}
+        for index in range(n_frames):
+            counts[self.frame_type(index)] += 1
+        return counts

@@ -1,0 +1,104 @@
+"""Quality-level semantics for the synthetic encoder.
+
+The paper's encoder exposes 7 integer quality levels (``Q = {0..6}``) per
+action; higher levels cost more time and produce better video.  This module
+gives those levels concrete encoder meaning — a motion-estimation search
+range, a quantisation parameter, an entropy-coding effort — and a simple
+rate/distortion model so that examples and experiments can report a video
+quality (PSNR-like) figure next to the mean quality level.
+
+The exact constants are not load-bearing for the reproduction (the Quality
+Manager only sees execution times); they exist so the workload is a coherent
+encoder model rather than an arbitrary cost table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QualityLevelSemantics", "DEFAULT_SEMANTICS"]
+
+
+@dataclass(frozen=True)
+class QualityLevelSemantics:
+    """Maps integer quality levels to encoder parameters and distortion.
+
+    Attributes
+    ----------
+    n_levels:
+        Number of levels (the paper uses 7).
+    max_search_range:
+        Motion-estimation search range (in pixels) at the highest level; the
+        range grows linearly with the level.
+    max_quantiser:
+        Quantisation parameter at the *lowest* level (coarsest); the QP
+        shrinks as the level grows.
+    min_quantiser:
+        Quantisation parameter at the highest level (finest).
+    """
+
+    n_levels: int = 7
+    max_search_range: int = 32
+    max_quantiser: float = 31.0
+    min_quantiser: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.n_levels < 1:
+            raise ValueError(f"n_levels must be >= 1, got {self.n_levels}")
+        if self.min_quantiser <= 0 or self.max_quantiser < self.min_quantiser:
+            raise ValueError("quantiser range must satisfy 0 < min <= max")
+
+    def _fraction(self, level: int) -> float:
+        """Position of a level inside ``[0, 1]``."""
+        if not 0 <= level < self.n_levels:
+            raise ValueError(f"quality level {level} out of range 0..{self.n_levels - 1}")
+        if self.n_levels == 1:
+            return 1.0
+        return level / (self.n_levels - 1)
+
+    def search_range(self, level: int) -> int:
+        """Motion-estimation search range (pixels) at a quality level."""
+        return max(1, int(round(self.max_search_range * (0.25 + 0.75 * self._fraction(level)))))
+
+    def quantiser(self, level: int) -> float:
+        """Quantisation parameter at a quality level (smaller = finer = better)."""
+        f = self._fraction(level)
+        return self.max_quantiser * (1.0 - f) + self.min_quantiser * f
+
+    def psnr(self, level: int, complexity: float | np.ndarray) -> float | np.ndarray:
+        """A PSNR-like quality figure (dB) for content of given complexity.
+
+        Uses the standard log model: PSNR falls with the quantiser and with
+        content complexity.  Only relative comparisons matter.
+        """
+        qp = self.quantiser(level)
+        base = 52.0 - 6.0 * np.log2(qp)
+        penalty = 6.0 * np.asarray(complexity, dtype=np.float64)
+        result = base - penalty
+        if np.isscalar(complexity):
+            return float(result)
+        return result
+
+    def bitrate_factor(self, level: int) -> float:
+        """Relative output bitrate of a level (1.0 at the highest level)."""
+        qp_high = self.quantiser(self.n_levels - 1)
+        return float(qp_high / self.quantiser(level))
+
+    def mean_psnr(self, levels: np.ndarray, complexity: np.ndarray) -> float:
+        """Average PSNR of a frame given per-macroblock levels and complexity.
+
+        ``levels`` may be a scalar level applied to all macroblocks or one
+        level per macroblock.
+        """
+        levels = np.broadcast_to(np.asarray(levels), complexity.shape)
+        values = np.empty(complexity.shape, dtype=np.float64)
+        for level in np.unique(levels):
+            mask = levels == level
+            values[mask] = self.psnr(int(level), complexity[mask])
+        return float(values.mean())
+
+
+#: the 7-level semantics matching the paper's encoder
+DEFAULT_SEMANTICS = QualityLevelSemantics()

@@ -1,0 +1,192 @@
+"""Execution-time model of the synthetic encoder.
+
+Builds the three timing functions of Definition 1 for the encoder pipeline:
+
+* ``C^av`` — the per-action average time: stage base cost x quality factor x
+  average content factor x GOP-averaged frame-type factor;
+* ``C^wc`` — the per-action worst case: stage base cost x quality factor x
+  maximal content factor x maximal frame-type factor x profiling margin;
+* the actual-time sampler — per cycle (frame), the stage cost modulated by
+  the synthetic frame content (per-macroblock complexity and motion), the
+  frame type from the GOP pattern, and small multiplicative platform noise.
+
+The sampler walks through the frames of a :class:`SyntheticVideoSource`
+sequence, one frame per cycle, and wraps around at the end — so consecutive
+cycles of the controlled system encode consecutive frames of the input,
+exactly the structure of the paper's 29-frame experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.timing import TimingModel, TimingTable
+from repro.core.types import QualitySet
+
+from .encoder import EncoderPipeline
+from .gop import GopStructure
+from .video import FrameContent, SyntheticVideoSource
+
+__all__ = ["EncoderTimingModel", "FrameScenarioSampler"]
+
+
+@dataclass(frozen=True)
+class EncoderTimingModel:
+    """Derives ``C^av`` / ``C^wc`` tables and the frame-driven sampler.
+
+    Parameters
+    ----------
+    pipeline:
+        The encoder pipeline (stages and frame format).
+    qualities:
+        The quality set (the paper uses ``{0..6}``).
+    gop:
+        The GOP structure used both for the expected frame-type mix in
+        ``C^av`` and for the per-cycle frame types of the sampler.
+    platform_noise:
+        Standard deviation of the multiplicative log-normal noise modelling
+        platform non-determinism (cache, bus, interrupts).
+    time_scale:
+        Global multiplier applied to every cost (platform speed knob).
+    """
+
+    pipeline: EncoderPipeline
+    qualities: QualitySet
+    gop: GopStructure
+    platform_noise: float = 0.04
+    time_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.platform_noise < 0.0:
+            raise ValueError("platform_noise must be >= 0")
+        if self.time_scale <= 0.0:
+            raise ValueError("time_scale must be > 0")
+
+    # ------------------------------------------------------------------ #
+    # static tables
+    # ------------------------------------------------------------------ #
+    def _gop_mean_factor(self, stage_factors: dict[str, float]) -> float:
+        """Frame-type factor averaged over one GOP period."""
+        counts = self.gop.count_types(self.gop.length)
+        total = sum(counts.values())
+        return sum(stage_factors[ft] * n for ft, n in counts.items()) / total
+
+    def average_table(self) -> TimingTable:
+        """The ``C^av`` table of one cycle."""
+        n_levels = len(self.qualities)
+        stages = self.pipeline.action_stages()
+        values = np.empty((n_levels, len(stages)), dtype=np.float64)
+        for column, stage in enumerate(stages):
+            factor = (
+                stage.base_cost
+                * stage.mean_content_factor()
+                * self._gop_mean_factor(stage.frame_type_factors)
+                * self.time_scale
+            )
+            values[:, column] = factor * stage.quality_factors(n_levels)
+        return TimingTable(self.qualities, values, name="Cav")
+
+    def worst_case_table(self) -> TimingTable:
+        """The ``C^wc`` table of one cycle."""
+        n_levels = len(self.qualities)
+        stages = self.pipeline.action_stages()
+        values = np.empty((n_levels, len(stages)), dtype=np.float64)
+        noise_ceiling = 1.0 + 4.0 * self.platform_noise
+        for column, stage in enumerate(stages):
+            factor = (
+                stage.base_cost
+                * stage.max_content_factor()
+                * stage.max_frame_type_factor()
+                * stage.worst_case_margin
+                * noise_ceiling
+                * self.time_scale
+            )
+            values[:, column] = factor * stage.quality_factors(n_levels)
+        return TimingTable(self.qualities, values, name="Cwc")
+
+    # ------------------------------------------------------------------ #
+    # per-frame scenarios
+    # ------------------------------------------------------------------ #
+    def frame_matrix(self, frame: FrameContent, rng: np.random.Generator) -> np.ndarray:
+        """Actual times (levels x actions) of one cycle encoding ``frame``."""
+        n_levels = len(self.qualities)
+        stages = self.pipeline.action_stages()
+        macroblocks = self.pipeline.action_macroblocks()
+        n_actions = len(stages)
+        matrix = np.empty((n_levels, n_actions), dtype=np.float64)
+        noise = (
+            np.exp(rng.normal(0.0, self.platform_noise, size=n_actions))
+            if self.platform_noise > 0.0
+            else np.ones(n_actions)
+        )
+        ft = frame.frame_type
+        for column, stage in enumerate(stages):
+            mb = macroblocks[column]
+            if mb >= 0:
+                complexity = frame.complexity[mb]
+                motion = frame.motion[mb]
+            else:
+                complexity = frame.mean_complexity
+                motion = frame.mean_motion
+            content = float(stage.content_factor(complexity, motion))
+            frame_factor = stage.frame_type_factors[ft]
+            base = stage.base_cost * content * frame_factor * noise[column] * self.time_scale
+            matrix[:, column] = base * stage.quality_factors(n_levels)
+        return matrix
+
+    def timing_model(self, video: SyntheticVideoSource, n_frames: int, *, seed: int = 0) -> TimingModel:
+        """The complete :class:`TimingModel` driven by a synthetic video sequence."""
+        sampler = FrameScenarioSampler(self, video, n_frames, seed=seed)
+        return TimingModel(self.worst_case_table(), self.average_table(), sampler)
+
+
+class FrameScenarioSampler:
+    """Stateful per-cycle sampler walking through a synthetic video sequence.
+
+    Each call produces the actual-time matrix of the next frame of the
+    sequence (wrapping around after ``n_frames``).  The frame contents are
+    generated once up-front so that different managers compared on the same
+    sampler *instance order* see the same video; for bitwise-identical
+    comparisons across managers use pre-drawn scenarios (see
+    :meth:`repro.platform.executor.PlatformExecutor.compare`).
+    """
+
+    def __init__(
+        self,
+        model: EncoderTimingModel,
+        video: SyntheticVideoSource,
+        n_frames: int,
+        *,
+        seed: int = 0,
+    ) -> None:
+        if n_frames < 1:
+            raise ValueError(f"n_frames must be >= 1, got {n_frames}")
+        self._model = model
+        self._frames = video.frame_list(n_frames, model.gop.types())
+        self._cursor = 0
+        self._seed = seed
+
+    @property
+    def frames(self) -> list[FrameContent]:
+        """The generated frame contents (one per cycle, before wrap-around)."""
+        return self._frames
+
+    @property
+    def n_frames(self) -> int:
+        """Length of the frame sequence."""
+        return len(self._frames)
+
+    def rewind(self) -> None:
+        """Restart the sequence from the first frame."""
+        self._cursor = 0
+
+    def peek_frame(self, cycle_index: int) -> FrameContent:
+        """The frame content a given cycle index will encode."""
+        return self._frames[cycle_index % len(self._frames)]
+
+    def __call__(self, rng: np.random.Generator) -> np.ndarray:
+        frame = self._frames[self._cursor % len(self._frames)]
+        self._cursor += 1
+        return self._model.frame_matrix(frame, rng)

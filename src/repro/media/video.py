@@ -1,0 +1,219 @@
+"""Synthetic video sources.
+
+The Quality Manager never looks at pixels: what matters for quality
+management is how the *content* of the video modulates per-action execution
+times (the paper: "Execution times for actions may considerably vary over
+time as they depend on the contents of data").  A synthetic source therefore
+produces, for every frame, a per-macroblock *complexity* field in ``[0, 1]``
+with the statistical structure of real video:
+
+* spatial correlation — neighbouring macroblocks have similar complexity;
+* temporal correlation — consecutive frames look alike;
+* scene changes — occasional frames where the whole field is redrawn and the
+  overall activity jumps;
+* motion activity — a per-frame global factor affecting motion-estimation
+  cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["VideoFormat", "FrameContent", "SyntheticVideoSource", "CIF", "QCIF", "SD"]
+
+
+@dataclass(frozen=True, slots=True)
+class VideoFormat:
+    """A frame format in pixels, split into 16x16 macroblocks."""
+
+    name: str
+    width: int
+    height: int
+    macroblock_size: int = 16
+
+    def __post_init__(self) -> None:
+        if self.width % self.macroblock_size or self.height % self.macroblock_size:
+            raise ValueError(
+                f"{self.name}: frame dimensions must be multiples of the macroblock size"
+            )
+
+    @property
+    def macroblocks_per_row(self) -> int:
+        """Number of macroblocks across one row."""
+        return self.width // self.macroblock_size
+
+    @property
+    def macroblocks_per_column(self) -> int:
+        """Number of macroblock rows."""
+        return self.height // self.macroblock_size
+
+    @property
+    def n_macroblocks(self) -> int:
+        """Total macroblocks per frame (the paper's ``N``)."""
+        return self.macroblocks_per_row * self.macroblocks_per_column
+
+
+#: the paper's input sequence format: 352x288 -> 396 macroblocks
+CIF = VideoFormat("CIF", 352, 288)
+#: a quarter-CIF format (99 macroblocks) for fast tests
+QCIF = VideoFormat("QCIF", 176, 144)
+#: a standard-definition format near the paper's upper bound (1,620 macroblocks is 720x576)
+SD = VideoFormat("SD", 720, 576)
+
+
+@dataclass(frozen=True)
+class FrameContent:
+    """The content description of one frame, as seen by the cost model.
+
+    Attributes
+    ----------
+    index:
+        Frame number within the sequence (0-based).
+    frame_type:
+        ``"I"``, ``"P"`` or ``"B"`` (intra, predicted, bidirectional).
+    complexity:
+        Per-macroblock spatial complexity in ``[0, 1]`` (texture/detail).
+    motion:
+        Per-macroblock motion activity in ``[0, 1]`` (how hard motion
+        estimation has to work).
+    is_scene_change:
+        True when the frame starts a new scene (complexity redrawn, motion
+        estimation finds no good predictors).
+    """
+
+    index: int
+    frame_type: str
+    complexity: np.ndarray
+    motion: np.ndarray
+    is_scene_change: bool
+
+    @property
+    def n_macroblocks(self) -> int:
+        """Number of macroblocks in the frame."""
+        return int(self.complexity.shape[0])
+
+    @property
+    def mean_complexity(self) -> float:
+        """Average spatial complexity of the frame."""
+        return float(self.complexity.mean())
+
+    @property
+    def mean_motion(self) -> float:
+        """Average motion activity of the frame."""
+        return float(self.motion.mean())
+
+
+class SyntheticVideoSource:
+    """Generates frame content with video-like spatial/temporal statistics.
+
+    Parameters
+    ----------
+    video_format:
+        The frame format (defaults to CIF, the paper's input).
+    scene_change_probability:
+        Per-frame probability of a scene change.
+    temporal_correlation:
+        Weight of the previous frame's complexity in the next one (0 =
+        independent frames, 1 = static scene).
+    spatial_smoothing:
+        Number of neighbour-averaging passes applied to the complexity field
+        (more passes = smoother content).
+    base_activity:
+        Mean complexity of a scene in ``[0, 1]``.
+    seed:
+        Seed of the internal random generator (content is reproducible).
+    """
+
+    def __init__(
+        self,
+        video_format: VideoFormat = CIF,
+        *,
+        scene_change_probability: float = 0.08,
+        temporal_correlation: float = 0.85,
+        spatial_smoothing: int = 2,
+        base_activity: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= scene_change_probability <= 1.0:
+            raise ValueError("scene_change_probability must lie in [0, 1]")
+        if not 0.0 <= temporal_correlation <= 1.0:
+            raise ValueError("temporal_correlation must lie in [0, 1]")
+        if not 0.0 < base_activity < 1.0:
+            raise ValueError("base_activity must lie in (0, 1)")
+        self._format = video_format
+        self._p_scene = float(scene_change_probability)
+        self._temporal = float(temporal_correlation)
+        self._smoothing = int(spatial_smoothing)
+        self._activity = float(base_activity)
+        self._seed = int(seed)
+
+    @property
+    def video_format(self) -> VideoFormat:
+        """The frame format produced by this source."""
+        return self._format
+
+    # ------------------------------------------------------------------ #
+    # content generation
+    # ------------------------------------------------------------------ #
+    def _fresh_field(self, rng: np.random.Generator) -> np.ndarray:
+        """A new spatially-correlated complexity field in ``[0, 1]``."""
+        rows = self._format.macroblocks_per_column
+        cols = self._format.macroblocks_per_row
+        field = rng.beta(2.0, 2.0 * (1.0 - self._activity) / self._activity, size=(rows, cols))
+        for _ in range(self._smoothing):
+            padded = np.pad(field, 1, mode="edge")
+            field = (
+                padded[:-2, 1:-1]
+                + padded[2:, 1:-1]
+                + padded[1:-1, :-2]
+                + padded[1:-1, 2:]
+                + 4.0 * field
+            ) / 8.0
+        return np.clip(field, 0.0, 1.0)
+
+    def frames(
+        self,
+        n_frames: int,
+        frame_types: Iterator[str] | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> Iterator[FrameContent]:
+        """Yield ``n_frames`` frames of synthetic content.
+
+        ``frame_types`` supplies the GOP pattern (defaults to all-P after an
+        initial I frame); the random generator defaults to one seeded from the
+        source's seed so repeated calls produce the same sequence.
+        """
+        generator = rng if rng is not None else np.random.default_rng(self._seed)
+        field = self._fresh_field(generator)
+        previous_motion = generator.uniform(0.2, 0.5, size=field.size)
+        for index in range(n_frames):
+            if frame_types is not None:
+                frame_type = next(frame_types)
+            else:
+                frame_type = "I" if index == 0 else "P"
+            scene_change = index == 0 or generator.random() < self._p_scene
+            if scene_change:
+                field = self._fresh_field(generator)
+                motion = generator.uniform(0.55, 1.0, size=field.size)
+            else:
+                innovation = self._fresh_field(generator)
+                field = self._temporal * field + (1.0 - self._temporal) * innovation
+                drift = generator.normal(0.0, 0.08, size=field.size)
+                motion = np.clip(previous_motion * 0.8 + 0.2 * generator.uniform(
+                    0.1, 0.7, size=field.size) + drift, 0.0, 1.0)
+            previous_motion = motion
+            yield FrameContent(
+                index=index,
+                frame_type=frame_type,
+                complexity=np.clip(field.ravel().copy(), 0.0, 1.0),
+                motion=np.asarray(motion, dtype=np.float64).copy(),
+                is_scene_change=bool(scene_change),
+            )
+
+    def frame_list(self, n_frames: int, frame_types: Iterator[str] | None = None) -> list[FrameContent]:
+        """Materialise :meth:`frames` into a list (deterministic for a given seed)."""
+        return list(self.frames(n_frames, frame_types))

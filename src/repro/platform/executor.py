@@ -1,0 +1,214 @@
+"""Platform executor: running controlled software on a virtual machine.
+
+This is the reproduction's analogue of the generated bare-metal binary: it
+runs the composition ``PS || Γ`` on a :class:`~repro.platform.machine.Machine`,
+charging Quality-Manager overhead according to the machine's overhead model,
+and produces per-cycle and per-run statistics (overhead percentage, mean
+quality, deadline audit) that the experiments consume directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.controller import run_cycle
+from repro.core.deadlines import DeadlineFunction
+from repro.core.manager import QualityManager
+from repro.core.system import CycleOutcome, ParameterizedSystem
+from repro.core.timing import ActualTimeScenario
+from repro.core.validation import TraceAudit, audit_trace
+
+from .machine import Machine, ipod_video
+from .overhead import LinearOverheadModel, OverheadParameters
+
+__all__ = ["CycleStatistics", "RunResult", "PlatformExecutor"]
+
+
+@dataclass(frozen=True, slots=True)
+class CycleStatistics:
+    """Summary statistics of one executed cycle on a platform."""
+
+    makespan: float
+    mean_quality: float
+    min_quality: int
+    max_quality: int
+    quality_changes: int
+    manager_calls: int
+    overhead_seconds: float
+    overhead_fraction: float
+    deadline_met: bool
+    worst_lateness: float
+
+    @classmethod
+    def from_outcome(cls, outcome: CycleOutcome, audit: TraceAudit) -> "CycleStatistics":
+        """Build statistics from a cycle trace and its deadline audit."""
+        makespan = outcome.makespan
+        overhead = outcome.total_overhead
+        return cls(
+            makespan=makespan,
+            mean_quality=outcome.mean_quality,
+            min_quality=int(outcome.qualities.min()) if outcome.n_actions else 0,
+            max_quality=int(outcome.qualities.max()) if outcome.n_actions else 0,
+            quality_changes=outcome.quality_changes(),
+            manager_calls=int(outcome.manager_invocations.shape[0]),
+            overhead_seconds=overhead,
+            overhead_fraction=overhead / makespan if makespan > 0 else 0.0,
+            deadline_met=audit.is_safe,
+            worst_lateness=audit.worst_lateness,
+        )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of running several cycles of one controlled system."""
+
+    manager_name: str
+    machine_name: str
+    outcomes: tuple[CycleOutcome, ...]
+    statistics: tuple[CycleStatistics, ...]
+
+    @property
+    def n_cycles(self) -> int:
+        """Number of executed cycles."""
+        return len(self.outcomes)
+
+    @property
+    def mean_quality(self) -> float:
+        """Mean quality level over all cycles."""
+        return float(np.mean([s.mean_quality for s in self.statistics]))
+
+    @property
+    def mean_quality_per_cycle(self) -> np.ndarray:
+        """Average quality of each cycle (the series plotted in Figure 7)."""
+        return np.array([s.mean_quality for s in self.statistics])
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Total overhead divided by total execution time over the run."""
+        total_time = sum(s.makespan for s in self.statistics)
+        total_overhead = sum(s.overhead_seconds for s in self.statistics)
+        return total_overhead / total_time if total_time > 0 else 0.0
+
+    @property
+    def total_manager_calls(self) -> int:
+        """Total Quality Manager invocations over the run."""
+        return int(sum(s.manager_calls for s in self.statistics))
+
+    @property
+    def deadline_miss_count(self) -> int:
+        """Number of cycles that missed their deadline."""
+        return sum(0 if s.deadline_met else 1 for s in self.statistics)
+
+    @property
+    def all_deadlines_met(self) -> bool:
+        """True when every cycle met every deadline."""
+        return self.deadline_miss_count == 0
+
+
+class PlatformExecutor:
+    """Runs a controlled system on a virtual machine and collects statistics.
+
+    Parameters
+    ----------
+    machine:
+        The virtual platform; defaults to the paper's iPod-like target.
+    charge_overhead:
+        When false the manager is invoked but charged nothing — used to
+        isolate the effect of overhead on quality (ablation).
+    """
+
+    def __init__(self, machine: Machine | None = None, *, charge_overhead: bool = True) -> None:
+        self._machine = machine if machine is not None else ipod_video()
+        self._charge_overhead = charge_overhead
+
+    @property
+    def machine(self) -> Machine:
+        """The virtual platform used by this executor."""
+        return self._machine
+
+    def run(
+        self,
+        system: ParameterizedSystem,
+        deadlines: DeadlineFunction,
+        manager: QualityManager,
+        *,
+        n_cycles: int = 1,
+        rng: np.random.Generator | None = None,
+        scenarios: list[ActualTimeScenario] | None = None,
+    ) -> RunResult:
+        """Execute ``n_cycles`` cycles and return the collected results.
+
+        ``scenarios`` pins the actual execution times of every cycle so that
+        different managers can be compared on identical inputs (the setting of
+        Figures 7 and 8).
+        """
+        if n_cycles < 1:
+            raise ValueError(f"n_cycles must be >= 1, got {n_cycles}")
+        if scenarios is not None and len(scenarios) != n_cycles:
+            raise ValueError(f"expected {n_cycles} scenarios, got {len(scenarios)}")
+        generator = rng if rng is not None else np.random.default_rng(0)
+        deployed = self._machine.deploy(system)
+        overhead_model: LinearOverheadModel | None = None
+        if self._charge_overhead:
+            params = self._machine.overhead
+            if self._machine.clock_read_overhead > 0.0:
+                # every manager invocation reads the real-time clock once
+                params = OverheadParameters(
+                    per_call=params.per_call + self._machine.clock_read_overhead,
+                    per_arithmetic_op=params.per_arithmetic_op,
+                    per_comparison=params.per_comparison,
+                    per_table_lookup=params.per_table_lookup,
+                )
+            overhead_model = LinearOverheadModel(params)
+
+        outcomes: list[CycleOutcome] = []
+        statistics: list[CycleStatistics] = []
+        for cycle in range(n_cycles):
+            scenario = scenarios[cycle] if scenarios is not None else None
+            outcome = run_cycle(
+                deployed,
+                manager,
+                scenario=scenario,
+                rng=generator,
+                overhead_model=overhead_model,
+            )
+            audit = audit_trace(outcome, deadlines)
+            outcomes.append(outcome)
+            statistics.append(CycleStatistics.from_outcome(outcome, audit))
+        return RunResult(
+            manager_name=manager.name,
+            machine_name=self._machine.name,
+            outcomes=tuple(outcomes),
+            statistics=tuple(statistics),
+        )
+
+    def compare(
+        self,
+        system: ParameterizedSystem,
+        deadlines: DeadlineFunction,
+        managers: dict[str, QualityManager],
+        *,
+        n_cycles: int = 1,
+        seed: int = 0,
+    ) -> dict[str, RunResult]:
+        """Run several managers on *identical* per-cycle scenarios.
+
+        The scenarios are drawn once from the deployed system and re-used for
+        every manager, which is how the paper compares its three Quality
+        Managers on the same 29-frame input sequence.
+        """
+        deployed = self._machine.deploy(system)
+        rng = np.random.default_rng(seed)
+        scenarios = [deployed.draw_scenario(rng) for _ in range(n_cycles)]
+        results: dict[str, RunResult] = {}
+        for label, manager in managers.items():
+            results[label] = self.run(
+                system,
+                deadlines,
+                manager,
+                n_cycles=n_cycles,
+                scenarios=scenarios,
+            )
+        return results

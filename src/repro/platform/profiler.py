@@ -1,0 +1,125 @@
+"""Profiling: estimating ``C^wc`` and ``C^av`` from observed executions.
+
+The paper obtains the timing functions consumed by the Quality Manager by
+profiling the encoder on the target platform ("For the iPod, we estimated
+worst-case and average execution times by profiling").  This module plays the
+same role against the virtual platform: it runs the application at each
+quality level a number of times, records the observed per-action times and
+derives
+
+* the *average* estimate ``C^av`` — the empirical mean, and
+* the *worst-case* estimate ``C^wc`` — the empirical maximum inflated by a
+  safety factor (profiling can only ever under-approximate the true worst
+  case; the factor models the engineering margin added in practice).
+
+The result is a new :class:`~repro.core.system.ParameterizedSystem` whose
+tables are the profiled estimates but whose actual-time behaviour is still
+the ground truth, which is exactly the situation of a deployed controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.system import ParameterizedSystem
+from repro.core.timing import TimingModel, TimingTable
+from repro.core.types import InvalidTimingError
+
+__all__ = ["ProfileReport", "Profiler"]
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Summary of one profiling campaign."""
+
+    runs_per_level: int
+    observed_mean: np.ndarray
+    observed_max: np.ndarray
+    safety_factor: float
+
+    @property
+    def n_actions(self) -> int:
+        """Number of profiled actions."""
+        return int(self.observed_mean.shape[1])
+
+    def underestimation_risk(self, true_worst_case: np.ndarray) -> float:
+        """Fraction of (level, action) pairs whose inflated estimate is below the true worst case.
+
+        A non-zero value means the profiled controller could in principle miss
+        a deadline — the ablation experiments quantify how the safety factor
+        controls this risk.
+        """
+        estimate = self.observed_max * self.safety_factor
+        return float(np.mean(estimate < true_worst_case - 1e-12))
+
+
+class Profiler:
+    """Estimates timing tables by running the application on the platform.
+
+    Parameters
+    ----------
+    runs_per_level:
+        Number of profiled cycles per quality level.
+    safety_factor:
+        Multiplier applied to the observed per-action maximum to obtain the
+        worst-case estimate (>= 1).
+    """
+
+    def __init__(self, *, runs_per_level: int = 8, safety_factor: float = 1.2) -> None:
+        if runs_per_level < 1:
+            raise ValueError(f"runs_per_level must be >= 1, got {runs_per_level}")
+        if safety_factor < 1.0:
+            raise ValueError(f"safety_factor must be >= 1, got {safety_factor}")
+        self._runs = int(runs_per_level)
+        self._safety = float(safety_factor)
+
+    def profile(
+        self,
+        system: ParameterizedSystem,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[ParameterizedSystem, ProfileReport]:
+        """Profile a system and return (profiled system, report).
+
+        The profiled system keeps the ground-truth actual-time sampler but its
+        ``C^av`` / ``C^wc`` tables are replaced by the estimates a real
+        profiling campaign would have produced.
+        """
+        generator = rng if rng is not None else np.random.default_rng(0)
+        n_levels = len(system.qualities)
+        n_actions = system.n_actions
+        sums = np.zeros((n_levels, n_actions), dtype=np.float64)
+        maxima = np.zeros((n_levels, n_actions), dtype=np.float64)
+        for _ in range(self._runs):
+            scenario = system.draw_scenario(generator)
+            sums += scenario.matrix
+            np.maximum(maxima, scenario.matrix, out=maxima)
+        mean = sums / self._runs
+        worst_estimate = maxima * self._safety
+
+        # The estimated tables must satisfy the model's hypotheses; enforce
+        # monotonicity in quality (profiling noise can locally break it) and
+        # Cav <= Cwc.
+        mean = np.maximum.accumulate(mean, axis=0)
+        worst_estimate = np.maximum.accumulate(worst_estimate, axis=0)
+        worst_estimate = np.maximum(worst_estimate, mean)
+
+        try:
+            average = TimingTable(system.qualities, mean, name="Cav(profiled)")
+            worst = TimingTable(system.qualities, worst_estimate, name="Cwc(profiled)")
+        except InvalidTimingError as error:  # pragma: no cover - defensive
+            raise InvalidTimingError(f"profiling produced an invalid table: {error}") from error
+
+        profiled = ParameterizedSystem(
+            system.sequence,
+            TimingModel(worst, average, system.timing.scenario_sampler),
+        )
+        report = ProfileReport(
+            runs_per_level=self._runs,
+            observed_mean=mean,
+            observed_max=maxima,
+            safety_factor=self._safety,
+        )
+        return profiled, report

@@ -1,0 +1,118 @@
+"""Execution traces and event logs.
+
+Turns a :class:`~repro.core.system.CycleOutcome` into the kind of per-event
+data the paper plots: the per-action overhead series of Figure 8 and the
+dynamic relaxation step counts the text of §4.2 describes (r = 40, then 1,
+then 10 along one frame).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.system import CycleOutcome
+
+__all__ = [
+    "ExecutionEvent",
+    "build_event_log",
+    "per_action_overhead",
+    "relaxation_steps_used",
+    "invocation_density",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionEvent:
+    """One event of an executed cycle.
+
+    ``kind`` is either ``"manager"`` (a Quality Manager invocation) or
+    ``"action"`` (an application action execution).  ``start`` and ``end``
+    are actual times within the cycle; ``index`` is the state index of the
+    invocation or the 1-based index of the executed action; ``quality`` is
+    the quality level of an action event (``None`` for manager events).
+    """
+
+    kind: str
+    index: int
+    start: float
+    end: float
+    quality: int | None = None
+
+    @property
+    def duration(self) -> float:
+        """Length of the event."""
+        return self.end - self.start
+
+
+def build_event_log(outcome: CycleOutcome) -> list[ExecutionEvent]:
+    """Reconstruct the interleaved manager/action event sequence of a cycle."""
+    events: list[ExecutionEvent] = []
+    overhead_by_state = dict(
+        zip(outcome.manager_invocations.tolist(), outcome.manager_overheads.tolist())
+    )
+    clock = 0.0
+    for i in range(outcome.n_actions):
+        if i in overhead_by_state:
+            overhead = overhead_by_state[i]
+            events.append(
+                ExecutionEvent(kind="manager", index=i, start=clock, end=clock + overhead)
+            )
+            clock += overhead
+        duration = float(outcome.durations[i])
+        events.append(
+            ExecutionEvent(
+                kind="action",
+                index=i + 1,
+                start=clock,
+                end=clock + duration,
+                quality=int(outcome.qualities[i]),
+            )
+        )
+        clock += duration
+    return events
+
+
+def per_action_overhead(outcome: CycleOutcome) -> np.ndarray:
+    """Management overhead attributed to each action (the Figure 8 series).
+
+    Entry ``i`` (0-based) is the time spent in the Quality Manager immediately
+    before action ``a_{i+1}`` started; zero when control was relaxed over that
+    action.
+    """
+    overhead = np.zeros(outcome.n_actions, dtype=np.float64)
+    overhead[outcome.manager_invocations] = outcome.manager_overheads
+    return overhead
+
+
+def relaxation_steps_used(outcome: CycleOutcome) -> np.ndarray:
+    """The relaxation step count granted by each manager invocation.
+
+    Reconstructed as the gap between consecutive invocation state indices
+    (the last invocation's step count is the number of actions it covered up
+    to the end of the cycle).  For managers without control relaxation this
+    is an all-ones array.
+    """
+    states = outcome.manager_invocations
+    if states.size == 0:
+        return np.empty(0, dtype=np.int64)
+    boundaries = np.append(states, outcome.n_actions)
+    return np.diff(boundaries)
+
+
+def invocation_density(outcome: CycleOutcome, window: int = 50) -> np.ndarray:
+    """Fraction of actions preceded by a manager invocation, per window of actions.
+
+    Useful to visualise where along the cycle control relaxation kicks in.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    invoked = np.zeros(outcome.n_actions, dtype=np.float64)
+    invoked[outcome.manager_invocations] = 1.0
+    n_windows = int(np.ceil(outcome.n_actions / window))
+    density = np.empty(n_windows, dtype=np.float64)
+    for w in range(n_windows):
+        chunk = invoked[w * window : (w + 1) * window]
+        density[w] = chunk.mean() if chunk.size else 0.0
+    return density

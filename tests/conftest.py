@@ -1,0 +1,43 @@
+"""Test configuration.
+
+Ensures the ``src`` layout and the ``tests`` directory are importable even
+when the package has not been installed (useful on offline machines where
+``pip install -e .`` cannot resolve build dependencies), and provides the
+fixtures shared across the test suite.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for path in (str(_SRC), str(_HERE)):
+    if path not in sys.path:  # pragma: no cover - environment dependent
+        sys.path.insert(0, path)
+
+from helpers import make_deadline, make_synthetic_system  # noqa: E402
+
+from repro.core import DeadlineFunction, ParameterizedSystem  # noqa: E402
+
+
+@pytest.fixture
+def small_system() -> ParameterizedSystem:
+    """A 40-action, 5-level synthetic system."""
+    return make_synthetic_system()
+
+
+@pytest.fixture
+def small_deadline(small_system: ParameterizedSystem) -> DeadlineFunction:
+    """A feasible single global deadline for ``small_system``."""
+    return make_deadline(small_system)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)

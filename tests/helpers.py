@@ -1,0 +1,62 @@
+"""Shared helpers for the test suite (importable as ``helpers``)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, str(_SRC))
+
+from repro.core import (  # noqa: E402
+    DeadlineFunction,
+    ParameterizedSystem,
+    QualitySet,
+)
+
+__all__ = ["make_synthetic_system", "make_deadline"]
+
+
+def make_synthetic_system(
+    n_actions: int = 40,
+    n_levels: int = 5,
+    *,
+    seed: int = 0,
+    wc_ratio: float = 2.0,
+    variability: tuple[float, float] = (0.6, 1.8),
+) -> ParameterizedSystem:
+    """A small random parameterized system used across the test suite.
+
+    Average times grow linearly with the quality level; worst-case times are
+    ``wc_ratio`` times the average; actual times are the average scaled by a
+    per-action factor drawn uniformly from ``variability`` (then clipped to
+    the worst case by the model).
+    """
+    rng = np.random.default_rng(seed)
+    qualities = QualitySet.of_size(n_levels)
+    base = rng.uniform(0.5, 2.0, size=n_actions)
+    factors = np.linspace(1.0, 3.0, n_levels)[:, None]
+    average = base[None, :] * factors
+    worst = average * wc_ratio
+
+    def sampler(generator: np.random.Generator) -> np.ndarray:
+        noise = generator.uniform(variability[0], variability[1], size=(1, n_actions))
+        return average * noise
+
+    return ParameterizedSystem.from_tables(
+        [f"a{i}" for i in range(1, n_actions + 1)],
+        qualities,
+        worst,
+        average,
+        scenario_sampler=sampler,
+    )
+
+
+def make_deadline(system: ParameterizedSystem, slack: float = 1.2) -> DeadlineFunction:
+    """A single global deadline with the given slack over the all-min worst case."""
+    qmin = system.qualities.minimum
+    budget = system.worst_case.total(1, system.n_actions, qmin) * slack
+    return DeadlineFunction.single(system.n_actions, float(budget))

@@ -1,0 +1,218 @@
+"""Tests for the related-work baseline managers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ConstantQualityManager,
+    ElasticQualityManager,
+    FeedbackQualityManager,
+    SkipQualityManager,
+    average_only_manager,
+    safe_only_manager,
+)
+from repro.core import (
+    ActualTimeScenario,
+    QualityManagerCompiler,
+    audit_trace,
+    run_cycle,
+)
+
+from helpers import make_deadline, make_synthetic_system
+
+
+@pytest.fixture(scope="module")
+def setup():
+    system = make_synthetic_system(n_actions=25, n_levels=4, seed=31)
+    deadlines = make_deadline(system, slack=1.3)
+    return system, deadlines
+
+
+def worst_case_scenario(system) -> ActualTimeScenario:
+    """Every action takes its worst-case time — the adversarial input."""
+    return ActualTimeScenario(system.qualities, system.worst_case.values.copy())
+
+
+class TestConstantManager:
+    def test_fixed_level(self, setup):
+        system, _ = setup
+        manager = ConstantQualityManager(system.qualities, 2)
+        outcome = run_cycle(system, manager, rng=np.random.default_rng(0))
+        assert np.all(outcome.qualities == 2)
+
+    def test_invalid_level_rejected(self, setup):
+        system, _ = setup
+        with pytest.raises(ValueError):
+            ConstantQualityManager(system.qualities, 99)
+
+    def test_low_constant_level_is_safe_but_wasteful(self, setup):
+        system, deadlines = setup
+        manager = ConstantQualityManager(system.qualities, system.qualities.minimum)
+        outcome = run_cycle(system, manager, scenario=worst_case_scenario(system))
+        audit = audit_trace(outcome, deadlines)
+        assert audit.is_safe
+        assert outcome.makespan < deadlines.final_deadline * 0.9  # budget left unused
+
+    def test_high_constant_level_misses_deadline_in_worst_case(self, setup):
+        system, deadlines = setup
+        manager = ConstantQualityManager(system.qualities, system.qualities.maximum)
+        outcome = run_cycle(system, manager, scenario=worst_case_scenario(system))
+        assert not audit_trace(outcome, deadlines).is_safe
+
+    def test_single_consultation_mode(self, setup):
+        system, _ = setup
+        manager = ConstantQualityManager(
+            system.qualities, 1, consult_every_action=False, horizon=system.n_actions
+        )
+        outcome = run_cycle(system, manager, rng=np.random.default_rng(0))
+        assert outcome.manager_invocations.shape[0] == 1
+
+    def test_memory_footprint(self, setup):
+        system, _ = setup
+        assert ConstantQualityManager(system.qualities, 1).memory_footprint().integers == 1
+
+
+class TestPolicyAblations:
+    def test_safe_only_manager_is_safe_in_worst_case(self, setup):
+        system, deadlines = setup
+        manager = safe_only_manager(system, deadlines)
+        outcome = run_cycle(system, manager, scenario=worst_case_scenario(system))
+        assert audit_trace(outcome, deadlines).is_safe
+        assert manager.name == "safe-only"
+
+    def test_safe_only_quality_collapses_along_cycle(self, setup):
+        """The worst-case policy front-loads quality: the first actions run
+        higher than the last ones when actual times track the worst case."""
+        system, deadlines = setup
+        manager = safe_only_manager(system, deadlines)
+        outcome = run_cycle(system, manager, scenario=worst_case_scenario(system))
+        third = system.n_actions // 3
+        assert outcome.qualities[:third].mean() > outcome.qualities[-third:].mean()
+
+    def test_average_only_manager_can_miss_deadlines(self, setup):
+        system, deadlines = setup
+        manager = average_only_manager(system, deadlines)
+        outcome = run_cycle(system, manager, scenario=worst_case_scenario(system))
+        assert not audit_trace(outcome, deadlines).is_safe
+
+    def test_mixed_policy_smoother_than_safe_policy(self, setup):
+        from repro.analysis import smoothness_index
+
+        system, deadlines = setup
+        controllers = QualityManagerCompiler().compile(system, deadlines)
+        scenario = system.draw_scenario(np.random.default_rng(3))
+        mixed = run_cycle(system, controllers.numeric, scenario=scenario)
+        safe = run_cycle(system, safe_only_manager(system, deadlines), scenario=scenario)
+        assert smoothness_index(mixed.qualities) <= smoothness_index(safe.qualities) + 1e-9
+
+
+class TestSkipManager:
+    def test_nominal_level_when_on_schedule(self, setup):
+        system, deadlines = setup
+        manager = SkipQualityManager(system, deadlines, nominal_level=2)
+        # run with zero-cost actions: never late, always nominal
+        zero = ActualTimeScenario(system.qualities, np.zeros_like(system.average.values))
+        outcome = run_cycle(system, manager, scenario=zero)
+        assert np.all(outcome.qualities == 2)
+
+    def test_degrades_to_minimum_under_load(self, setup):
+        system, deadlines = setup
+        manager = SkipQualityManager(system, deadlines)
+        outcome = run_cycle(system, manager, scenario=worst_case_scenario(system))
+        assert outcome.qualities.min() == system.qualities.minimum
+
+    def test_skip_window_respected(self, setup):
+        system, deadlines = setup
+        manager = SkipQualityManager(system, deadlines, skip_window=4)
+        outcome = run_cycle(system, manager, scenario=worst_case_scenario(system))
+        # after the first degradation, at least skip_window consecutive actions are minimal
+        minima = np.flatnonzero(outcome.qualities == system.qualities.minimum)
+        if minima.size >= 4:
+            assert np.any(np.convolve(np.diff(minima) == 1, np.ones(3), mode="valid") == 3)
+
+    def test_parameter_validation(self, setup):
+        system, deadlines = setup
+        with pytest.raises(ValueError):
+            SkipQualityManager(system, deadlines, skip_window=0)
+        with pytest.raises(ValueError):
+            SkipQualityManager(system, deadlines, nominal_level=99)
+
+    def test_reset_clears_skip_state(self, setup):
+        system, deadlines = setup
+        manager = SkipQualityManager(system, deadlines, nominal_level=2)
+        run_cycle(system, manager, scenario=worst_case_scenario(system))
+        manager.reset()
+        zero = ActualTimeScenario(system.qualities, np.zeros_like(system.average.values))
+        outcome = run_cycle(system, manager, scenario=zero)
+        assert np.all(outcome.qualities == manager.nominal_level)
+
+
+class TestFeedbackManager:
+    def test_starts_at_reference_level(self, setup):
+        system, deadlines = setup
+        manager = FeedbackQualityManager(system, deadlines, reference_level=2)
+        assert manager.decide(0, 0.0).quality == 2
+
+    def test_lowers_quality_when_behind_schedule(self, setup):
+        system, deadlines = setup
+        manager = FeedbackQualityManager(system, deadlines, reference_level=2)
+        manager.reset()
+        late = deadlines.final_deadline * 0.9
+        assert manager.decide(2, late).quality < 2
+
+    def test_raises_quality_when_ahead_of_schedule(self, setup):
+        system, deadlines = setup
+        manager = FeedbackQualityManager(system, deadlines, reference_level=1)
+        manager.reset()
+        assert manager.decide(system.n_actions // 2, 0.0).quality > 1
+
+    def test_output_clamped_to_quality_set(self, setup):
+        system, deadlines = setup
+        manager = FeedbackQualityManager(system, deadlines, kp=100.0)
+        manager.reset()
+        quality = manager.decide(1, deadlines.final_deadline).quality
+        assert quality in system.qualities
+
+    def test_can_miss_deadlines_in_worst_case(self, setup):
+        system, deadlines = setup
+        manager = FeedbackQualityManager(
+            system, deadlines, reference_level=system.qualities.maximum, kp=0.1, ki=0.0, kd=0.0
+        )
+        outcome = run_cycle(system, manager, scenario=worst_case_scenario(system))
+        assert not audit_trace(outcome, deadlines).is_safe
+
+    def test_reference_level_validation(self, setup):
+        system, deadlines = setup
+        with pytest.raises(ValueError):
+            FeedbackQualityManager(system, deadlines, reference_level=42)
+
+
+class TestElasticManager:
+    def test_safe_in_worst_case(self, setup):
+        system, deadlines = setup
+        manager = ElasticQualityManager(system, deadlines)
+        outcome = run_cycle(system, manager, scenario=worst_case_scenario(system))
+        assert audit_trace(outcome, deadlines).is_safe
+
+    def test_more_conservative_than_mixed_policy(self, setup):
+        system, deadlines = setup
+        controllers = QualityManagerCompiler().compile(system, deadlines)
+        scenario = system.draw_scenario(np.random.default_rng(5))
+        elastic = run_cycle(system, ElasticQualityManager(system, deadlines), scenario=scenario)
+        mixed = run_cycle(system, controllers.numeric, scenario=scenario)
+        assert elastic.mean_quality <= mixed.mean_quality + 1e-9
+
+    def test_falls_back_to_minimum_when_late(self, setup):
+        system, deadlines = setup
+        manager = ElasticQualityManager(system, deadlines)
+        assert (
+            manager.decide(system.n_actions - 1, deadlines.final_deadline * 2.0).quality
+            == system.qualities.minimum
+        )
+
+    def test_memory_footprint(self, setup):
+        system, deadlines = setup
+        manager = ElasticQualityManager(system, deadlines)
+        assert manager.memory_footprint().integers == system.n_actions * len(system.qualities)

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.command == "compare"
+        assert args.frames == 6
+        assert args.small is False
+
+    def test_experiments_fast_flag(self):
+        args = build_parser().parse_args(["experiments", "--fast", "--seed", "3"])
+        assert args.fast is True
+        assert args.seed == 3
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_info_prints_paper_numbers(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "8323" in output.replace(",", "")
+        assert "5.7" in output
+
+    def test_compare_small_workload(self, capsys):
+        assert main(["compare", "--small", "--frames", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "numeric" in output and "relaxation" in output
+        assert "average quality per frame" in output
+
+    def test_diagram_renders(self, capsys):
+        assert main(["diagram"]) == 0
+        output = capsys.readouterr().out
+        assert "virtual time" in output

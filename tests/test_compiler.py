@@ -1,0 +1,83 @@
+"""Tests for the quality-manager compiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AveragePolicy,
+    InfeasibleSystemError,
+    MixedPolicy,
+    QualityManagerCompiler,
+)
+
+from helpers import make_deadline, make_synthetic_system
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    system = make_synthetic_system(n_actions=20, n_levels=4, seed=6)
+    deadlines = make_deadline(system)
+    return system, deadlines, QualityManagerCompiler(relaxation_steps=(1, 5, 10)).compile(
+        system, deadlines
+    )
+
+
+class TestCompilation:
+    def test_produces_three_managers(self, compiled):
+        _, _, controllers = compiled
+        managers = controllers.managers()
+        assert set(managers) == {"numeric", "region", "relaxation"}
+
+    def test_managers_share_td_table(self, compiled):
+        _, _, controllers = compiled
+        assert controllers.numeric.td_table is controllers.td_table
+        assert controllers.region.regions.td_table is controllers.td_table
+        assert controllers.relaxation.relaxation.td_table is controllers.td_table
+
+    def test_report_formulas(self, compiled):
+        system, _, controllers = compiled
+        report = controllers.report
+        n, levels = system.n_actions, len(system.qualities)
+        assert report.region_integers == n * levels
+        assert report.relaxation_integers == 2 * n * levels * 3
+        assert report.n_actions == n
+        assert report.n_levels == levels
+        assert report.relaxation_steps == (1, 5, 10)
+
+    def test_report_timings_non_negative(self, compiled):
+        _, _, controllers = compiled
+        report = controllers.report
+        assert report.td_precompute_seconds >= 0.0
+        assert report.region_precompute_seconds >= 0.0
+        assert report.relaxation_precompute_seconds >= 0.0
+
+    def test_extras_in_managers(self, compiled):
+        _, _, controllers = compiled
+        # extras default to empty, but the mapping must include them when set
+        assert controllers.extras == {}
+
+    def test_default_policy_and_steps(self):
+        compiler = QualityManagerCompiler()
+        assert isinstance(compiler.policy, MixedPolicy)
+        assert compiler.relaxation_steps == (1, 10, 20, 30, 40, 50)
+
+    def test_custom_policy(self):
+        compiler = QualityManagerCompiler(policy=AveragePolicy())
+        assert isinstance(compiler.policy, AveragePolicy)
+
+    def test_steps_deduplicated_and_sorted(self):
+        compiler = QualityManagerCompiler(relaxation_steps=(10, 1, 10, 5))
+        assert compiler.relaxation_steps == (1, 5, 10)
+
+    def test_infeasible_system_rejected(self):
+        system = make_synthetic_system(n_actions=10, seed=0)
+        tight = make_deadline(system, slack=0.4)
+        with pytest.raises(InfeasibleSystemError):
+            QualityManagerCompiler().compile(system, tight)
+
+    def test_infeasible_allowed_when_disabled(self):
+        system = make_synthetic_system(n_actions=10, seed=0)
+        tight = make_deadline(system, slack=0.4)
+        controllers = QualityManagerCompiler(require_feasible=False).compile(system, tight)
+        assert controllers.td_table.initial_feasibility_margin() < 0.0

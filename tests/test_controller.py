@@ -1,0 +1,177 @@
+"""Tests for controlled-system execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ControlledSystem,
+    ManagerWork,
+    NumericQualityManager,
+    QualityManagerCompiler,
+    compute_td_table,
+    run_cycle,
+    run_fixed_quality,
+)
+
+from helpers import make_deadline, make_synthetic_system
+
+
+class FixedCharge:
+    """Overhead model charging a constant per invocation (test double)."""
+
+    def __init__(self, amount: float) -> None:
+        self.amount = amount
+        self.charged: list[ManagerWork] = []
+
+    def charge(self, work: ManagerWork) -> float:
+        self.charged.append(work)
+        return self.amount
+
+
+@pytest.fixture(scope="module")
+def setup():
+    system = make_synthetic_system(n_actions=15, n_levels=3, seed=8)
+    deadlines = make_deadline(system)
+    td = compute_td_table(system, deadlines)
+    return system, deadlines, td
+
+
+class TestRunCycle:
+    def test_completion_times_are_cumulative(self, setup):
+        system, _, td = setup
+        outcome = run_cycle(system, NumericQualityManager(td), rng=np.random.default_rng(0))
+        assert np.allclose(np.cumsum(outcome.durations), outcome.completion_times)
+
+    def test_durations_match_scenario(self, setup):
+        system, _, td = setup
+        scenario = system.draw_scenario(np.random.default_rng(4))
+        outcome = run_cycle(system, NumericQualityManager(td), scenario=scenario)
+        for i in range(system.n_actions):
+            expected = scenario.actual_time(i + 1, int(outcome.qualities[i]))
+            assert outcome.durations[i] == pytest.approx(expected)
+
+    def test_every_action_gets_a_quality(self, setup):
+        system, _, td = setup
+        outcome = run_cycle(system, NumericQualityManager(td), rng=np.random.default_rng(1))
+        assert outcome.qualities.shape == (system.n_actions,)
+        assert all(q in system.qualities for q in outcome.qualities)
+
+    def test_numeric_manager_invoked_every_action(self, setup):
+        system, _, td = setup
+        outcome = run_cycle(system, NumericQualityManager(td), rng=np.random.default_rng(1))
+        assert np.array_equal(outcome.manager_invocations, np.arange(system.n_actions))
+
+    def test_overhead_charged_and_recorded(self, setup):
+        system, _, td = setup
+        model = FixedCharge(0.01)
+        outcome = run_cycle(
+            system, NumericQualityManager(td), rng=np.random.default_rng(0), overhead_model=model
+        )
+        assert outcome.total_overhead == pytest.approx(0.01 * system.n_actions)
+        assert len(model.charged) == system.n_actions
+
+    def test_overhead_delays_completion(self, setup):
+        system, _, td = setup
+        scenario = system.draw_scenario(np.random.default_rng(2))
+        free = run_cycle(system, NumericQualityManager(td), scenario=scenario)
+        charged = run_cycle(
+            system,
+            NumericQualityManager(td),
+            scenario=scenario,
+            overhead_model=FixedCharge(0.5),
+        )
+        assert charged.makespan > free.makespan
+
+    def test_scenario_length_checked(self, setup):
+        system, _, td = setup
+        other = make_synthetic_system(n_actions=7, n_levels=3, seed=8)
+        scenario = other.draw_scenario(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            run_cycle(system, NumericQualityManager(td), scenario=scenario)
+
+    def test_deterministic_given_scenario(self, setup):
+        system, _, td = setup
+        scenario = system.draw_scenario(np.random.default_rng(10))
+        a = run_cycle(system, NumericQualityManager(td), scenario=scenario)
+        b = run_cycle(system, NumericQualityManager(td), scenario=scenario)
+        assert np.array_equal(a.qualities, b.qualities)
+        assert np.allclose(a.completion_times, b.completion_times)
+
+
+class TestRunFixedQuality:
+    def test_all_actions_at_requested_level(self, setup):
+        system, _, _ = setup
+        outcome = run_fixed_quality(system, 2, rng=np.random.default_rng(0))
+        assert np.all(outcome.qualities == 2)
+
+    def test_no_manager_invocations(self, setup):
+        system, _, _ = setup
+        outcome = run_fixed_quality(system, 1, rng=np.random.default_rng(0))
+        assert outcome.manager_invocations.shape == (0,)
+        assert outcome.total_overhead == 0.0
+
+    def test_invalid_level_rejected(self, setup):
+        system, _, _ = setup
+        with pytest.raises(ValueError):
+            run_fixed_quality(system, 99, rng=np.random.default_rng(0))
+
+    def test_durations_match_scenario_row(self, setup):
+        system, _, _ = setup
+        scenario = system.draw_scenario(np.random.default_rng(5))
+        outcome = run_fixed_quality(system, 0, scenario=scenario)
+        assert np.allclose(outcome.durations, scenario.matrix[0])
+
+
+class TestControlledSystem:
+    def test_run_cycles_count(self, setup):
+        system, deadlines, td = setup
+        controlled = ControlledSystem(system, deadlines, NumericQualityManager(td))
+        outcomes = controlled.run_cycles(4, rng=np.random.default_rng(0))
+        assert len(outcomes) == 4
+
+    def test_run_cycles_with_scenarios(self, setup):
+        system, deadlines, td = setup
+        rng = np.random.default_rng(9)
+        scenarios = [system.draw_scenario(rng) for _ in range(3)]
+        controlled = ControlledSystem(system, deadlines, NumericQualityManager(td))
+        outcomes = controlled.run_cycles(3, scenarios=scenarios)
+        for outcome, scenario in zip(outcomes, scenarios):
+            assert np.allclose(
+                outcome.durations,
+                scenario.times_for(outcome.qualities - system.qualities.minimum),
+            )
+
+    def test_scenario_count_mismatch_rejected(self, setup):
+        system, deadlines, td = setup
+        controlled = ControlledSystem(system, deadlines, NumericQualityManager(td))
+        with pytest.raises(ValueError):
+            controlled.run_cycles(2, scenarios=[system.draw_scenario(np.random.default_rng(0))])
+
+    def test_invalid_cycle_count(self, setup):
+        system, deadlines, td = setup
+        controlled = ControlledSystem(system, deadlines, NumericQualityManager(td))
+        with pytest.raises(ValueError):
+            controlled.run_cycles(0)
+
+    def test_properties(self, setup):
+        system, deadlines, td = setup
+        manager = NumericQualityManager(td)
+        controlled = ControlledSystem(system, deadlines, manager)
+        assert controlled.system is system
+        assert controlled.deadlines is deadlines
+        assert controlled.manager is manager
+
+
+class TestRelaxationExecution:
+    def test_relaxed_cycle_covers_all_actions(self, setup):
+        system, deadlines, _ = setup
+        controllers = QualityManagerCompiler(relaxation_steps=(1, 3, 6)).compile(
+            system, deadlines
+        )
+        outcome = run_cycle(system, controllers.relaxation, rng=np.random.default_rng(0))
+        assert outcome.qualities.shape == (system.n_actions,)
+        # invocation states strictly increasing and starting at 0
+        assert outcome.manager_invocations[0] == 0
+        assert np.all(np.diff(outcome.manager_invocations) >= 1)

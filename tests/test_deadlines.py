@@ -1,0 +1,108 @@
+"""Tests for deadline functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DeadlineFunction, QualityManagementError
+
+
+class TestConstruction:
+    def test_single(self):
+        deadlines = DeadlineFunction.single(10, 5.0)
+        assert len(deadlines) == 1
+        assert deadlines.deadline_of(10) == 5.0
+        assert deadlines.final_deadline == 5.0
+        assert deadlines.last_constrained_index == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(QualityManagementError):
+            DeadlineFunction({})
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(QualityManagementError):
+            DeadlineFunction({0: 1.0})
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(QualityManagementError):
+            DeadlineFunction({1: -1.0})
+
+    def test_non_finite_deadline_rejected(self):
+        with pytest.raises(QualityManagementError):
+            DeadlineFunction({1: np.inf})
+
+    def test_from_pairs(self):
+        deadlines = DeadlineFunction.from_pairs([(5, 2.0), (10, 4.0)])
+        assert len(deadlines) == 2
+        assert deadlines.deadline_of(5) == 2.0
+
+    def test_entries_sorted_by_index(self):
+        deadlines = DeadlineFunction({10: 4.0, 5: 2.0})
+        assert list(deadlines.indices) == [5, 10]
+        assert list(deadlines.values) == [2.0, 4.0]
+
+
+class TestPeriodic:
+    def test_periodic_every_k_actions(self):
+        deadlines = DeadlineFunction.periodic(12, 4, 1.0)
+        assert dict(deadlines) == {4: 1.0, 8: 2.0, 12: 3.0}
+
+    def test_periodic_covers_last_action(self):
+        deadlines = DeadlineFunction.periodic(10, 4, 1.0)
+        assert 10 in deadlines
+        assert deadlines.covers(10)
+
+    def test_periodic_with_offset(self):
+        deadlines = DeadlineFunction.periodic(4, 2, 1.0, offset=0.5)
+        assert deadlines.deadline_of(2) == pytest.approx(1.5)
+
+    def test_periodic_validation(self):
+        with pytest.raises(QualityManagementError):
+            DeadlineFunction.periodic(10, 0, 1.0)
+        with pytest.raises(QualityManagementError):
+            DeadlineFunction.periodic(10, 2, 0.0)
+
+
+class TestQueries:
+    def test_contains(self):
+        deadlines = DeadlineFunction({3: 1.0, 7: 2.0})
+        assert 3 in deadlines
+        assert 4 not in deadlines
+
+    def test_get_with_default(self):
+        deadlines = DeadlineFunction({3: 1.0})
+        assert deadlines.get(3) == 1.0
+        assert deadlines.get(4) is None
+        assert deadlines.get(4, 9.0) == 9.0
+
+    def test_remaining(self):
+        deadlines = DeadlineFunction({3: 1.0, 7: 2.0, 10: 3.0})
+        assert deadlines.remaining(0) == [(3, 1.0), (7, 2.0), (10, 3.0)]
+        assert deadlines.remaining(3) == [(7, 2.0), (10, 3.0)]
+        assert deadlines.remaining(9) == [(10, 3.0)]
+        assert deadlines.remaining(10) == []
+
+    def test_covers(self):
+        deadlines = DeadlineFunction({5: 1.0})
+        assert deadlines.covers(5)
+        assert not deadlines.covers(6)
+
+    def test_equality(self):
+        assert DeadlineFunction({1: 1.0}) == DeadlineFunction({1: 1.0})
+        assert DeadlineFunction({1: 1.0}) != DeadlineFunction({1: 2.0})
+
+
+class TestTransformations:
+    def test_scaled(self):
+        deadlines = DeadlineFunction({2: 1.0, 4: 2.0}).scaled(3.0)
+        assert deadlines.deadline_of(2) == pytest.approx(3.0)
+        assert deadlines.deadline_of(4) == pytest.approx(6.0)
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(QualityManagementError):
+            DeadlineFunction({1: 1.0}).scaled(0.0)
+
+    def test_shifted(self):
+        deadlines = DeadlineFunction({2: 1.0}).shifted(0.5)
+        assert deadlines.deadline_of(2) == pytest.approx(1.5)

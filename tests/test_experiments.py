@@ -1,0 +1,147 @@
+"""Tests for the experiment reproductions (fast-mode shapes).
+
+The assertions here encode the *shape* claims of the paper: exact table-size
+matches for E1, overhead ordering for E2, quality dominance for E3, overhead
+reduction and dynamic step adaptation for E4, and Proposition 1 agreement for
+E5.  The paper-scale runs live in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_REFERENCE,
+    PAPER_SETUP,
+    run_diagram_experiment,
+    run_fig7_experiment,
+    run_fig8_experiment,
+    run_memory_experiment,
+    run_overhead_experiment,
+)
+from repro.experiments.runner import run_all_experiments
+from repro.media import paper_encoder, small_encoder
+
+
+@pytest.fixture(scope="module")
+def fast_workload():
+    return small_encoder(seed=0, n_frames=4)
+
+
+class TestPaperConstants:
+    def test_setup_matches_paper_text(self):
+        assert PAPER_SETUP.n_actions == 1189
+        assert PAPER_SETUP.n_levels == 7
+        assert PAPER_SETUP.deadline_seconds == 30.0
+        assert PAPER_SETUP.n_frames == 29
+        assert PAPER_SETUP.macroblocks_per_frame == 396
+
+    def test_reference_table_sizes_follow_formulas(self):
+        assert PAPER_REFERENCE.region_integers == PAPER_SETUP.n_actions * PAPER_SETUP.n_levels
+        assert PAPER_REFERENCE.relaxation_integers == (
+            2 * PAPER_SETUP.n_actions * PAPER_SETUP.n_levels * len(PAPER_SETUP.relaxation_steps)
+        )
+
+    def test_paper_encoder_action_count_matches_setup(self):
+        assert paper_encoder().pipeline().n_actions == PAPER_SETUP.n_actions
+
+
+class TestMemoryExperiment:
+    def test_paper_scale_table_sizes_match_exactly(self):
+        result = run_memory_experiment()
+        assert result.report.region_integers == 8_323
+        assert result.report.relaxation_integers == 99_876
+        assert result.region_matches_paper
+        assert result.relaxation_matches_paper
+        assert "8323" in result.render().replace(",", "")
+
+    def test_small_workload_follows_formulas(self, fast_workload):
+        result = run_memory_experiment(fast_workload)
+        n = fast_workload.pipeline().n_actions
+        assert result.report.region_integers == n * 7
+        assert result.report.relaxation_integers == 2 * n * 7 * 6
+
+
+class TestOverheadExperiment:
+    def test_ordering_and_safety(self, fast_workload):
+        result = run_overhead_experiment(fast_workload, n_frames=3, seed=1)
+        assert result.ordering_matches_paper
+        assert result.all_safe
+        percentages = result.overhead_percentages
+        assert percentages["numeric"] > percentages["relaxation"]
+        assert "overhead" in result.render().lower()
+
+    def test_metrics_present_for_all_managers(self, fast_workload):
+        result = run_overhead_experiment(fast_workload, n_frames=2, seed=0)
+        assert set(result.metrics) == {"numeric", "region", "relaxation"}
+
+
+class TestFig7Experiment:
+    def test_symbolic_quality_dominates(self, fast_workload):
+        result = run_fig7_experiment(fast_workload, n_frames=4, seed=2)
+        assert result.n_frames == 4
+        assert result.symbolic_dominates_numeric()
+        assert set(result.series) == {"numeric", "region", "relaxation"}
+        assert "sequence mean quality" in result.render()
+
+    def test_series_lengths_match_frames(self, fast_workload):
+        result = run_fig7_experiment(fast_workload, n_frames=3, seed=0)
+        for series in result.series.values():
+            assert series.shape == (3,)
+
+    def test_per_frame_quality_within_levels(self, fast_workload):
+        result = run_fig7_experiment(fast_workload, n_frames=3, seed=0)
+        for series in result.series.values():
+            assert np.all(series >= 0.0) and np.all(series <= 6.0)
+
+
+class TestFig8Experiment:
+    def test_relaxation_reduces_window_overhead(self, fast_workload):
+        result = run_fig8_experiment(fast_workload, seed=3)
+        assert result.relaxation_total < result.region_total
+        assert result.overhead_reduction_factor > 2.0
+        assert "reduction factor" in result.render()
+
+    def test_no_relaxation_series_has_constant_per_action_cost(self, fast_workload):
+        result = run_fig8_experiment(fast_workload, seed=3)
+        nonzero = result.region_overhead[result.region_overhead > 0]
+        assert nonzero.shape[0] == result.region_overhead.shape[0]
+        assert np.allclose(nonzero, nonzero[0])
+
+    def test_relaxation_series_mostly_zero(self, fast_workload):
+        result = run_fig8_experiment(fast_workload, seed=3)
+        zero_fraction = np.mean(result.relaxation_overhead == 0.0)
+        assert zero_fraction > 0.5
+
+    def test_step_counts_adapt_dynamically(self, fast_workload):
+        result = run_fig8_experiment(fast_workload, seed=3)
+        assert len(set(result.relaxation_steps.tolist())) >= 2
+
+    def test_invalid_window_rejected(self, fast_workload):
+        with pytest.raises(ValueError):
+            run_fig8_experiment(fast_workload, first_action=50, last_action=10)
+
+
+class TestDiagramExperiment:
+    def test_proposition1_holds_everywhere(self, fast_workload):
+        result = run_diagram_experiment(fast_workload, seed=1)
+        assert result.proposition1_checked > 100
+        assert result.proposition1_holds
+        assert "Proposition 1" in result.render()
+
+    def test_trajectory_and_borders_present(self, fast_workload):
+        result = run_diagram_experiment(fast_workload, seed=1)
+        assert result.trajectory["actual_time"].shape[0] > 1
+        assert len(result.region_borders) == 7
+
+
+class TestRunner:
+    def test_fast_suite_end_to_end(self):
+        suite = run_all_experiments(fast=True, seed=0)
+        report = suite.render()
+        assert "E1" in report and "E4" in report
+        assert suite.memory.region_matches_paper
+        assert suite.overhead.ordering_matches_paper
+        assert suite.fig7.symbolic_dominates_numeric()
+        assert suite.diagrams.proposition1_holds

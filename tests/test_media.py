@@ -1,0 +1,279 @@
+"""Tests for the synthetic MPEG-like encoder workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QualityManagerCompiler, run_cycle
+from repro.media import (
+    CIF,
+    QCIF,
+    SD,
+    DEFAULT_SEMANTICS,
+    EncoderPipeline,
+    EncoderWorkload,
+    GopStructure,
+    PipelineStage,
+    QualityLevelSemantics,
+    SyntheticVideoSource,
+    VideoFormat,
+    paper_encoder,
+    small_encoder,
+)
+
+
+class TestVideoFormat:
+    def test_cif_macroblock_count_matches_paper(self):
+        assert CIF.n_macroblocks == 396
+
+    def test_qcif_macroblock_count(self):
+        assert QCIF.n_macroblocks == 99
+
+    def test_sd_macroblock_count_matches_paper_upper_bound(self):
+        assert SD.n_macroblocks == 1620
+
+    def test_dimensions_must_align_to_macroblocks(self):
+        with pytest.raises(ValueError):
+            VideoFormat("bad", 350, 288)
+
+
+class TestSyntheticVideoSource:
+    def test_deterministic_for_seed(self):
+        a = SyntheticVideoSource(QCIF, seed=3).frame_list(5)
+        b = SyntheticVideoSource(QCIF, seed=3).frame_list(5)
+        for fa, fb in zip(a, b):
+            assert np.allclose(fa.complexity, fb.complexity)
+            assert np.allclose(fa.motion, fb.motion)
+            assert fa.frame_type == fb.frame_type
+
+    def test_different_seeds_differ(self):
+        a = SyntheticVideoSource(QCIF, seed=1).frame_list(3)
+        b = SyntheticVideoSource(QCIF, seed=2).frame_list(3)
+        assert not np.allclose(a[1].complexity, b[1].complexity)
+
+    def test_complexity_in_unit_interval(self):
+        for frame in SyntheticVideoSource(QCIF, seed=0).frame_list(8):
+            assert np.all(frame.complexity >= 0.0) and np.all(frame.complexity <= 1.0)
+            assert np.all(frame.motion >= 0.0) and np.all(frame.motion <= 1.0)
+            assert frame.n_macroblocks == QCIF.n_macroblocks
+
+    def test_first_frame_is_scene_change(self):
+        frames = SyntheticVideoSource(QCIF, seed=0).frame_list(1)
+        assert frames[0].is_scene_change
+
+    def test_scene_changes_raise_motion(self):
+        source = SyntheticVideoSource(QCIF, seed=5, scene_change_probability=0.5)
+        frames = source.frame_list(30)
+        changes = [f.mean_motion for f in frames[1:] if f.is_scene_change]
+        steady = [f.mean_motion for f in frames[1:] if not f.is_scene_change]
+        if changes and steady:
+            assert np.mean(changes) > np.mean(steady)
+
+    def test_gop_pattern_respected(self):
+        gop = GopStructure("IBBP")
+        frames = SyntheticVideoSource(QCIF, seed=0).frame_list(8, gop.types())
+        assert [f.frame_type for f in frames] == ["I", "B", "B", "P", "I", "B", "B", "P"]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticVideoSource(QCIF, scene_change_probability=2.0)
+        with pytest.raises(ValueError):
+            SyntheticVideoSource(QCIF, temporal_correlation=-0.1)
+        with pytest.raises(ValueError):
+            SyntheticVideoSource(QCIF, base_activity=1.5)
+
+
+class TestGopStructure:
+    def test_default_pattern(self):
+        gop = GopStructure()
+        assert gop.length == 12
+        assert gop.frame_type(0) == "I"
+        assert gop.frame_type(12) == "I"
+        assert gop.frame_type(3) == "P"
+
+    def test_intra_only_and_ip_only(self):
+        assert GopStructure.intra_only().pattern == "I"
+        assert GopStructure.ip_only(4).pattern == "IPPP"
+
+    def test_pattern_validation(self):
+        with pytest.raises(ValueError):
+            GopStructure("")
+        with pytest.raises(ValueError):
+            GopStructure("PPI")
+        with pytest.raises(ValueError):
+            GopStructure("IXP")
+
+    def test_count_types(self):
+        counts = GopStructure("IBBP").count_types(8)
+        assert counts == {"I": 2, "B": 4, "P": 2}
+
+    def test_types_iterator(self):
+        types = GopStructure("IP").types()
+        assert [next(types) for _ in range(4)] == ["I", "P", "I", "P"]
+
+
+class TestQualitySemantics:
+    def test_search_range_grows_with_level(self):
+        ranges = [DEFAULT_SEMANTICS.search_range(q) for q in range(7)]
+        assert all(a <= b for a, b in zip(ranges, ranges[1:]))
+
+    def test_quantiser_shrinks_with_level(self):
+        qps = [DEFAULT_SEMANTICS.quantiser(q) for q in range(7)]
+        assert all(a >= b for a, b in zip(qps, qps[1:]))
+
+    def test_psnr_improves_with_level(self):
+        psnrs = [DEFAULT_SEMANTICS.psnr(q, 0.5) for q in range(7)]
+        assert all(a <= b for a, b in zip(psnrs, psnrs[1:]))
+
+    def test_psnr_degrades_with_complexity(self):
+        assert DEFAULT_SEMANTICS.psnr(3, 0.1) > DEFAULT_SEMANTICS.psnr(3, 0.9)
+
+    def test_bitrate_factor_normalised_at_top(self):
+        assert DEFAULT_SEMANTICS.bitrate_factor(6) == pytest.approx(1.0)
+        assert DEFAULT_SEMANTICS.bitrate_factor(0) < 1.0
+
+    def test_mean_psnr_with_per_block_levels(self):
+        complexity = np.array([0.2, 0.8, 0.5])
+        uniform = DEFAULT_SEMANTICS.mean_psnr(np.array(6), complexity)
+        mixed = DEFAULT_SEMANTICS.mean_psnr(np.array([0, 0, 0]), complexity)
+        assert uniform > mixed
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SEMANTICS.quantiser(7)
+        with pytest.raises(ValueError):
+            QualityLevelSemantics(n_levels=0)
+
+
+class TestEncoderPipeline:
+    def test_paper_action_count(self):
+        assert EncoderPipeline(CIF).n_actions == 1189
+
+    def test_qcif_action_count(self):
+        assert EncoderPipeline(QCIF).n_actions == 99 * 3 + 1
+
+    def test_sequence_structure(self):
+        pipeline = EncoderPipeline(QCIF)
+        sequence = pipeline.build_sequence()
+        assert len(sequence) == pipeline.n_actions
+        assert sequence[1].name == "mb0000/motion_estimation"
+        assert sequence[len(sequence)].name == "frame/finalize"
+
+    def test_action_stage_alignment(self):
+        pipeline = EncoderPipeline(QCIF)
+        stages = pipeline.action_stages()
+        macroblocks = pipeline.action_macroblocks()
+        assert len(stages) == pipeline.n_actions
+        assert macroblocks[-1] == -1
+        assert macroblocks[0] == 0
+        assert stages[-1].name == "frame_finalize"
+
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            PipelineStage(name="bad", base_cost=0.0, quality_slope=0.1)
+        with pytest.raises(ValueError):
+            PipelineStage(name="bad", base_cost=1.0, quality_slope=-0.1)
+        with pytest.raises(ValueError):
+            PipelineStage(name="bad", base_cost=1.0, quality_slope=0.1, worst_case_margin=0.5)
+
+    def test_stage_quality_factors(self):
+        stage = PipelineStage(name="s", base_cost=1.0, quality_slope=0.5)
+        assert np.allclose(stage.quality_factors(3), [1.0, 1.5, 2.0])
+        assert stage.quality_factor(2) == pytest.approx(2.0)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            EncoderPipeline(QCIF, stages=())
+
+
+class TestEncoderWorkload:
+    def test_paper_encoder_matches_setup(self):
+        workload = paper_encoder()
+        system = workload.build_system()
+        assert system.n_actions == 1189
+        assert len(system.qualities) == 7
+        assert workload.deadline == 30.0
+        assert workload.n_frames == 29
+        assert workload.deadlines().last_constrained_index == 1189
+
+    def test_paper_encoder_feasible(self):
+        workload = paper_encoder()
+        system = workload.build_system()
+        assert system.is_feasible(workload.deadlines())
+
+    def test_small_encoder_runs_quickly(self):
+        workload = small_encoder()
+        system = workload.build_system()
+        deadlines = workload.deadlines()
+        controllers = QualityManagerCompiler().compile(system, deadlines)
+        outcome = run_cycle(system, controllers.region, rng=np.random.default_rng(0))
+        assert outcome.n_actions == system.n_actions
+
+    def test_scenarios_respect_worst_case(self):
+        system = small_encoder(seed=4).build_system()
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            scenario = system.draw_scenario(rng)
+            assert np.all(scenario.matrix <= system.worst_case.values + 1e-12)
+
+    def test_scenarios_vary_per_cycle(self):
+        system = small_encoder(seed=4).build_system()
+        rng = np.random.default_rng(1)
+        first = system.draw_scenario(rng).matrix
+        second = system.draw_scenario(rng).matrix
+        assert not np.allclose(first, second)
+
+    def test_average_table_monotone_in_quality(self):
+        system = small_encoder().build_system()
+        assert np.all(np.diff(system.average.values, axis=0) >= -1e-12)
+        assert np.all(np.diff(system.worst_case.values, axis=0) >= -1e-12)
+
+    def test_i_frames_cheaper_motion_estimation(self):
+        """Scene content drives cost: the I-frame factor shrinks motion estimation."""
+        workload = small_encoder(seed=2)
+        model = workload.timing_model()
+        video = workload.video_source()
+        frames = video.frame_list(2, iter(["I", "P"]))
+        rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(0)
+        i_matrix = model.frame_matrix(frames[0], rng_a)
+        p_frame = frames[1]
+        # build a P frame with identical content to isolate the frame-type factor
+        p_same = type(p_frame)(
+            index=1,
+            frame_type="P",
+            complexity=frames[0].complexity,
+            motion=frames[0].motion,
+            is_scene_change=False,
+        )
+        p_matrix = model.frame_matrix(p_same, rng_b)
+        # motion estimation columns are every third action starting at 0
+        me_columns = np.arange(0, workload.pipeline().n_macroblocks * 3, 3)
+        assert i_matrix[:, me_columns].sum() < p_matrix[:, me_columns].sum()
+
+    def test_with_overrides(self):
+        workload = paper_encoder().with_overrides(n_frames=5, deadline=25.0)
+        assert workload.n_frames == 5
+        assert workload.deadline == 25.0
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            EncoderWorkload(n_levels=0)
+        with pytest.raises(ValueError):
+            EncoderWorkload(n_frames=0)
+        with pytest.raises(ValueError):
+            EncoderWorkload(deadline=0.0)
+
+    def test_sampler_wraps_around_frames(self):
+        workload = small_encoder(seed=0, n_frames=2)
+        sampler = workload.scenario_sampler()
+        rng = np.random.default_rng(0)
+        assert sampler.n_frames == 2
+        first = sampler(rng)
+        sampler(rng)
+        third = sampler(rng)  # wraps back to frame 0 content
+        assert first.shape == third.shape
+        assert sampler.peek_frame(0).index == 0
+        sampler.rewind()
+        assert np.allclose(sampler(np.random.default_rng(0)),
+                           workload.scenario_sampler()(np.random.default_rng(0)))

@@ -1,0 +1,158 @@
+"""Tests for the virtual platform: clock, overhead models, machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ManagerWork
+from repro.platform import (
+    DESKTOP_LIKE,
+    FAST_EMBEDDED,
+    IPOD_LIKE,
+    LinearOverheadModel,
+    Machine,
+    NullOverheadModel,
+    OverheadParameters,
+    VirtualClock,
+    desktop,
+    fast_embedded,
+    ipod_video,
+)
+
+from helpers import make_synthetic_system
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        clock = VirtualClock()
+        assert clock.now == 0.0
+        assert clock.read() == 0.0
+
+    def test_advance_and_read(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.25)
+        assert clock.now == pytest.approx(1.75)
+        assert clock.read() == pytest.approx(1.75)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.1)
+
+    def test_granularity_quantises_reads(self):
+        clock = VirtualClock(granularity=0.1)
+        clock.advance(0.27)
+        assert clock.read() == pytest.approx(0.2)
+        assert clock.now == pytest.approx(0.27)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance(3.0)
+        clock.read()
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.reads == 0
+
+    def test_read_counter(self):
+        clock = VirtualClock()
+        for _ in range(5):
+            clock.read()
+        assert clock.reads == 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            VirtualClock(granularity=-1.0)
+        with pytest.raises(ValueError):
+            VirtualClock(read_overhead=-1.0)
+
+
+class TestOverheadParameters:
+    def test_scaled(self):
+        params = OverheadParameters(per_call=1.0, per_arithmetic_op=0.1, per_comparison=0.2, per_table_lookup=0.3)
+        scaled = params.scaled(2.0)
+        assert scaled.per_call == 2.0
+        assert scaled.per_arithmetic_op == pytest.approx(0.2)
+        assert scaled.per_table_lookup == pytest.approx(0.6)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            IPOD_LIKE.scaled(-1.0)
+
+    def test_presets_ordering(self):
+        assert IPOD_LIKE.per_call > FAST_EMBEDDED.per_call > DESKTOP_LIKE.per_call
+
+
+class TestLinearOverheadModel:
+    def test_cost_formula(self):
+        params = OverheadParameters(per_call=1.0, per_arithmetic_op=0.01, per_comparison=0.1, per_table_lookup=0.2)
+        model = LinearOverheadModel(params)
+        work = ManagerWork(kind="x", arithmetic_ops=10, comparisons=2, table_lookups=3)
+        assert model.cost_of(work) == pytest.approx(1.0 + 0.1 + 0.2 + 0.6)
+
+    def test_charge_accumulates(self):
+        model = LinearOverheadModel(OverheadParameters(per_call=0.5))
+        model.charge(ManagerWork(kind="a"))
+        model.charge(ManagerWork(kind="b"))
+        model.charge(ManagerWork(kind="a"))
+        assert model.calls == 3
+        assert model.total_seconds == pytest.approx(1.5)
+        per_kind = model.per_kind()
+        assert per_kind["a"]["calls"] == 2
+        assert per_kind["b"]["seconds"] == pytest.approx(0.5)
+
+    def test_reset(self):
+        model = LinearOverheadModel(OverheadParameters(per_call=0.5))
+        model.charge(ManagerWork(kind="a"))
+        model.reset()
+        assert model.calls == 0
+        assert model.total_seconds == 0.0
+
+    def test_numeric_work_costs_more_than_lookup_work(self):
+        model = LinearOverheadModel(IPOD_LIKE)
+        numeric_work = ManagerWork(kind="numeric", arithmetic_ops=1000 * 7 * 4, comparisons=7)
+        region_work = ManagerWork(kind="region", comparisons=7, table_lookups=7)
+        assert model.cost_of(numeric_work) > model.cost_of(region_work)
+
+
+class TestNullOverheadModel:
+    def test_charges_nothing(self):
+        model = NullOverheadModel()
+        assert model.charge(ManagerWork(kind="x")) == 0.0
+        assert model.cost_of(ManagerWork(kind="x")) == 0.0
+        assert model.calls == 1
+        model.reset()
+        assert model.calls == 0
+
+
+class TestMachine:
+    def test_presets(self):
+        assert ipod_video().speed_factor == 1.0
+        assert fast_embedded().speed_factor < 1.0
+        assert desktop().speed_factor < fast_embedded().speed_factor
+
+    def test_invalid_speed_factor(self):
+        with pytest.raises(ValueError):
+            Machine(name="bad", speed_factor=0.0)
+
+    def test_deploy_rescales_system(self):
+        system = make_synthetic_system(n_actions=5)
+        machine = Machine(name="slow", speed_factor=2.0)
+        deployed = machine.deploy(system)
+        assert deployed.average.total(1, 5, 0) == pytest.approx(
+            2.0 * system.average.total(1, 5, 0)
+        )
+
+    def test_deploy_identity_when_factor_one(self):
+        system = make_synthetic_system(n_actions=5)
+        assert ipod_video().deploy(system) is system
+
+    def test_scaled_machine(self):
+        machine = ipod_video().scaled(10.0)
+        assert machine.speed_factor == pytest.approx(10.0)
+        assert machine.overhead.per_call == pytest.approx(IPOD_LIKE.per_call * 10.0)
+
+    def test_fresh_overhead_model_and_clock(self):
+        machine = ipod_video()
+        assert machine.overhead_model() is not machine.overhead_model()
+        clock = machine.clock()
+        assert clock.granularity == machine.clock_granularity

@@ -1,0 +1,177 @@
+"""Tests for the quality-management policies.
+
+Every vectorised policy computation is checked against a direct, loop-based
+transcription of the paper's formulas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AveragePolicy,
+    MixedPolicy,
+    SafePolicy,
+    delta_max_suffix,
+    delta_suffix,
+)
+
+from helpers import make_synthetic_system
+
+
+# --------------------------------------------------------------------------- #
+# brute-force reference implementations of the paper's formulas
+# --------------------------------------------------------------------------- #
+def brute_csf(system, first: int, last: int, quality: int) -> float:
+    """C^sf(a_first..a_last, q) = C^wc(a_first, q) + C^wc(a_{first+1}..a_last, q_min)."""
+    qmin = system.qualities.minimum
+    return system.worst_case.of(first, quality) + sum(
+        system.worst_case.of(j, qmin) for j in range(first + 1, last + 1)
+    )
+
+
+def brute_cav(system, first: int, last: int, quality: int) -> float:
+    """C^av(a_first..a_last, q)."""
+    return sum(system.average.of(j, quality) for j in range(first, last + 1))
+
+
+def brute_delta(system, first: int, last: int, quality: int) -> float:
+    """δ(a_first..a_last, q) = C^sf - C^av."""
+    return brute_csf(system, first, last, quality) - brute_cav(system, first, last, quality)
+
+
+def brute_delta_max(system, first: int, last: int, quality: int) -> float:
+    """δ_max(a_first..a_last, q) = max_{first <= j <= last} δ(a_j..a_last, q)."""
+    return max(brute_delta(system, j, last, quality) for j in range(first, last + 1))
+
+
+def brute_mixed(system, first: int, last: int, quality: int) -> float:
+    """C^D = C^av + δ_max."""
+    return brute_cav(system, first, last, quality) + brute_delta_max(system, first, last, quality)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return make_synthetic_system(n_actions=15, n_levels=4, seed=7)
+
+
+class TestDeltaFunctions:
+    def test_delta_suffix_matches_brute_force(self, system):
+        horizon = 10
+        for quality in system.qualities:
+            computed = delta_suffix(system.timing, horizon, quality)
+            expected = [brute_delta(system, j, horizon, quality) for j in range(1, horizon + 1)]
+            assert np.allclose(computed, expected)
+
+    def test_delta_max_suffix_matches_brute_force(self, system):
+        horizon = 12
+        for quality in system.qualities:
+            computed = delta_max_suffix(system.timing, horizon, quality)
+            expected = [
+                brute_delta_max(system, i + 1, horizon, quality) for i in range(horizon)
+            ]
+            assert np.allclose(computed, expected)
+
+    def test_delta_max_is_upper_bound_of_delta(self, system):
+        horizon = system.n_actions
+        for quality in system.qualities:
+            deltas = delta_suffix(system.timing, horizon, quality)
+            maxima = delta_max_suffix(system.timing, horizon, quality)
+            assert np.all(maxima >= deltas - 1e-12)
+
+    def test_delta_max_non_negative_when_wc_exceeds_av(self, system):
+        # δ(a_k..a_k, q) = Cwc(a_k, q) - Cav(a_k, q) >= 0, so δ_max >= 0
+        horizon = system.n_actions
+        for quality in system.qualities:
+            assert np.all(delta_max_suffix(system.timing, horizon, quality) >= -1e-12)
+
+    def test_horizon_bounds_checked(self, system):
+        with pytest.raises(ValueError):
+            delta_suffix(system.timing, 0, 0)
+        with pytest.raises(ValueError):
+            delta_suffix(system.timing, system.n_actions + 1, 0)
+
+
+class TestSafePolicy:
+    def test_matches_brute_force(self, system):
+        policy = SafePolicy()
+        horizon = 9
+        costs = policy.horizon_costs(system.timing, horizon)
+        for qi, quality in enumerate(system.qualities):
+            for state in range(horizon):
+                assert costs[qi, state] == pytest.approx(
+                    brute_csf(system, state + 1, horizon, quality)
+                )
+
+    def test_guarantees_safety_flag(self):
+        assert SafePolicy().guarantees_safety is True
+
+    def test_non_decreasing_in_quality(self, system):
+        costs = SafePolicy().horizon_costs(system.timing, system.n_actions)
+        assert np.all(np.diff(costs, axis=0) >= -1e-12)
+
+
+class TestAveragePolicy:
+    def test_matches_brute_force(self, system):
+        policy = AveragePolicy()
+        horizon = 11
+        costs = policy.horizon_costs(system.timing, horizon)
+        for qi, quality in enumerate(system.qualities):
+            for state in range(horizon):
+                assert costs[qi, state] == pytest.approx(
+                    brute_cav(system, state + 1, horizon, quality)
+                )
+
+    def test_does_not_guarantee_safety(self):
+        assert AveragePolicy().guarantees_safety is False
+
+    def test_average_below_safe_at_min_quality_start(self, system):
+        # At q = q_min the safe cost equals the all-q_min worst case, which
+        # dominates the average cost.
+        horizon = system.n_actions
+        safe = SafePolicy().horizon_costs(system.timing, horizon)
+        avg = AveragePolicy().horizon_costs(system.timing, horizon)
+        assert np.all(safe[0] >= avg[0] - 1e-12)
+
+
+class TestMixedPolicy:
+    def test_matches_brute_force(self, system):
+        policy = MixedPolicy()
+        horizon = 8
+        costs = policy.horizon_costs(system.timing, horizon)
+        for qi, quality in enumerate(system.qualities):
+            for state in range(horizon):
+                assert costs[qi, state] == pytest.approx(
+                    brute_mixed(system, state + 1, horizon, quality)
+                )
+
+    def test_guarantees_safety_flag(self):
+        assert MixedPolicy().guarantees_safety is True
+
+    def test_mixed_at_least_average(self, system):
+        horizon = system.n_actions
+        mixed = MixedPolicy().horizon_costs(system.timing, horizon)
+        avg = AveragePolicy().horizon_costs(system.timing, horizon)
+        assert np.all(mixed >= avg - 1e-12)
+
+    def test_mixed_at_least_safe(self, system):
+        # C^D = C^av + δ_max >= C^av + δ(a_{i+1}..a_k) = C^sf
+        horizon = system.n_actions
+        mixed = MixedPolicy().horizon_costs(system.timing, horizon)
+        safe = SafePolicy().horizon_costs(system.timing, horizon)
+        assert np.all(mixed >= safe - 1e-9)
+
+    def test_safety_margins_match_delta_max(self, system):
+        policy = MixedPolicy()
+        horizon = 10
+        margins = policy.safety_margins(system.timing, horizon)
+        for qi, quality in enumerate(system.qualities):
+            expected = delta_max_suffix(system.timing, horizon, quality)
+            assert np.allclose(margins[qi], expected)
+
+    def test_horizon_validation(self, system):
+        with pytest.raises(ValueError):
+            MixedPolicy().horizon_costs(system.timing, 0)
+        with pytest.raises(ValueError):
+            MixedPolicy().safety_margins(system.timing, system.n_actions + 5)

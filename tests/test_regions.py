@@ -1,0 +1,145 @@
+"""Tests for quality regions (Proposition 2) and the region manager."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NumericQualityManager,
+    QualityRegionTable,
+    RegionQualityManager,
+    compute_td_table,
+)
+
+from helpers import make_deadline, make_synthetic_system
+
+
+@pytest.fixture(scope="module")
+def setup():
+    system = make_synthetic_system(n_actions=25, n_levels=5, seed=9)
+    deadlines = make_deadline(system, slack=1.3)
+    td = compute_td_table(system, deadlines)
+    return system, deadlines, td, QualityRegionTable(td)
+
+
+class TestRegionBounds:
+    def test_upper_bound_is_td(self, setup):
+        system, _, td, regions = setup
+        for state in (0, 5, system.n_actions - 1):
+            for quality in system.qualities:
+                _, upper = regions.bounds(state, quality)
+                assert upper == pytest.approx(td.td(state, quality))
+
+    def test_lower_bound_is_next_level_td(self, setup):
+        system, _, td, regions = setup
+        state = 3
+        for quality in list(system.qualities)[:-1]:
+            lower, _ = regions.bounds(state, quality)
+            assert lower == pytest.approx(td.td(state, quality + 1))
+
+    def test_max_quality_has_open_lower_bound(self, setup):
+        system, _, _, regions = setup
+        lower, _ = regions.bounds(0, system.qualities.maximum)
+        assert lower == -np.inf
+
+    def test_partition_consistency(self, setup):
+        _, _, _, regions = setup
+        assert regions.partition_is_consistent()
+
+
+class TestRegionMembership:
+    def test_region_of_matches_td_choice(self, setup):
+        system, _, td, regions = setup
+        rng = np.random.default_rng(1)
+        for state in range(system.n_actions):
+            upper = td.values[0, state]
+            for time in rng.uniform(0.0, max(upper, 1e-6), size=5):
+                region = regions.region_of(state, float(time))
+                chosen = td.choose_quality(state, float(time))
+                assert region == chosen
+
+    def test_region_of_none_when_late(self, setup):
+        system, _, td, regions = setup
+        state = system.n_actions - 1
+        assert regions.region_of(state, td.values[0, state] + 1.0) is None
+
+    def test_contains_consistent_with_region_of(self, setup):
+        system, _, td, regions = setup
+        state = 4
+        time = td.values[-1, state] * 0.9  # inside the q_max region for sure
+        region = regions.region_of(state, time)
+        assert region is not None
+        assert regions.contains(state, time, region)
+        for other in system.qualities:
+            if other != region:
+                assert not regions.contains(state, time, other)
+
+    def test_regions_tile_without_overlap(self, setup):
+        """Any admissible time belongs to exactly one region."""
+        system, _, td, regions = setup
+        state = 7
+        times = np.linspace(0.0, td.values[0, state], 60)
+        for time in times:
+            memberships = [q for q in system.qualities if regions.contains(state, float(time), q)]
+            assert len(memberships) == 1
+
+    def test_boundaries_non_increasing(self, setup):
+        system, _, _, regions = setup
+        for state in range(0, system.n_actions, 5):
+            boundaries = regions.boundaries(state)
+            assert np.all(np.diff(boundaries) <= 1e-9)
+
+
+class TestRegionManager:
+    def test_same_choice_as_numeric_manager(self, setup):
+        system, _, td, regions = setup
+        numeric = NumericQualityManager(td)
+        symbolic = RegionQualityManager(regions)
+        rng = np.random.default_rng(3)
+        for state in range(system.n_actions):
+            horizon = td.values[0, state] * 1.1
+            for time in rng.uniform(0.0, max(horizon, 1e-6), size=4):
+                assert (
+                    symbolic.decide(state, float(time)).quality
+                    == numeric.decide(state, float(time)).quality
+                )
+
+    def test_single_step_decisions(self, setup):
+        _, _, _, regions = setup
+        manager = RegionQualityManager(regions)
+        assert manager.decide(0, 0.0).steps == 1
+
+    def test_work_is_constant_per_call(self, setup):
+        system, _, _, regions = setup
+        manager = RegionQualityManager(regions)
+        early = manager.decide(0, 0.0).work
+        late = manager.decide(system.n_actions - 1, 0.0).work
+        assert early.comparisons == late.comparisons
+        assert early.table_lookups == late.table_lookups
+        assert early.arithmetic_ops == 0
+
+    def test_numeric_work_shrinks_with_progress(self, setup):
+        _, _, td, _ = setup
+        numeric = NumericQualityManager(td)
+        early = numeric.decide(0, 0.0).work
+        late = numeric.decide(td.n_states - 1, 0.0).work
+        assert early.arithmetic_ops > late.arithmetic_ops
+
+    def test_late_state_falls_back_to_minimum(self, setup):
+        system, _, td, regions = setup
+        manager = RegionQualityManager(regions)
+        state = system.n_actions - 1
+        decision = manager.decide(state, td.values[0, state] + 5.0)
+        assert decision.quality == system.qualities.minimum
+
+    def test_memory_footprint_formula(self, setup):
+        system, _, _, regions = setup
+        manager = RegionQualityManager(regions)
+        assert manager.memory_footprint().integers == system.n_actions * len(system.qualities)
+
+    def test_footprint_bytes(self, setup):
+        _, _, _, regions = setup
+        footprint = regions.memory_footprint()
+        assert footprint.bytes == footprint.integers * 4
+        assert footprint.kilobytes == pytest.approx(footprint.bytes / 1024.0)

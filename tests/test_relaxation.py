@@ -1,0 +1,210 @@
+"""Tests for control relaxation regions (Proposition 3).
+
+The key correctness property — relaxation never changes the chosen qualities,
+whatever the actual execution times — is checked both via the interval
+characterisation (brute force over the definition) and via end-to-end
+execution equivalence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NumericQualityManager,
+    QualityRegionTable,
+    RelaxationQualityManager,
+    RelaxationTable,
+    check_relaxation_containment,
+    compute_td_table,
+    run_cycle,
+)
+
+from helpers import make_deadline, make_synthetic_system
+
+
+def brute_upper(td, system, state: int, quality: int, r: int) -> float:
+    """min_{state <= j <= state+r-1} ( t^D(s_j, q) - C^wc(a_{state+1}..a_j, q) )."""
+    best = np.inf
+    for j in range(state, state + r):
+        wc = system.worst_case.total(state + 1, j, quality)
+        best = min(best, td.td(j, quality) - wc)
+    return best
+
+
+def brute_lower(td, system, state: int, quality: int, r: int) -> float:
+    """max_{state <= j <= state+r-1} t^D(s_j, q+1); -inf at q_max."""
+    if quality == system.qualities.maximum:
+        return -np.inf
+    return max(td.td(j, quality + 1) for j in range(state, state + r))
+
+
+@pytest.fixture(scope="module")
+def setup():
+    system = make_synthetic_system(n_actions=30, n_levels=4, seed=21, wc_ratio=1.4)
+    deadlines = make_deadline(system, slack=1.4)
+    td = compute_td_table(system, deadlines)
+    regions = QualityRegionTable(td)
+    relaxation = RelaxationTable(td, steps=(1, 2, 4, 8))
+    return system, deadlines, td, regions, relaxation
+
+
+class TestRelaxationTable:
+    def test_steps_sorted_and_deduplicated(self, setup):
+        _, _, td, _, _ = setup
+        table = RelaxationTable(td, steps=(8, 2, 2, 1))
+        assert table.steps == (1, 2, 8)
+
+    def test_invalid_steps_rejected(self, setup):
+        _, _, td, _, _ = setup
+        with pytest.raises(ValueError):
+            RelaxationTable(td, steps=(0, 3))
+        with pytest.raises(ValueError):
+            RelaxationTable(td, steps=())
+
+    def test_bounds_match_brute_force(self, setup):
+        system, _, td, _, relaxation = setup
+        for r in relaxation.steps:
+            for quality in system.qualities:
+                for state in range(0, system.n_actions - r + 1, 3):
+                    lower, upper = relaxation.bounds(state, quality, r)
+                    assert upper == pytest.approx(brute_upper(td, system, state, quality, r))
+                    expected_lower = brute_lower(td, system, state, quality, r)
+                    if np.isneginf(expected_lower):
+                        assert np.isneginf(lower)
+                    else:
+                        assert lower == pytest.approx(expected_lower)
+
+    def test_r_equal_one_reduces_to_quality_region(self, setup):
+        system, _, _, regions, relaxation = setup
+        for quality in system.qualities:
+            for state in range(system.n_actions):
+                r_lower, r_upper = relaxation.bounds(state, quality, 1)
+                q_lower, q_upper = regions.bounds(state, quality)
+                assert r_upper == pytest.approx(q_upper)
+                if np.isfinite(q_lower):
+                    assert r_lower == pytest.approx(q_lower)
+
+    def test_states_without_enough_actions_are_empty(self, setup):
+        system, _, _, _, relaxation = setup
+        r = max(relaxation.steps)
+        state = system.n_actions - r + 1  # only r-1 actions remain
+        for quality in system.qualities:
+            lower, upper = relaxation.bounds(state, quality, r)
+            assert np.isneginf(upper)
+
+    def test_step_larger_than_cycle_gives_empty_regions(self, setup):
+        _, _, td, _, _ = setup
+        table = RelaxationTable(td, steps=(td.n_states + 10,))
+        lower, upper = table.bounds(0, 0, td.n_states + 10)
+        assert np.isneginf(upper)
+
+    def test_regions_nested_in_r(self, setup):
+        """R^r_q shrinks as r grows (upper non-increasing, lower non-decreasing)."""
+        system, _, _, _, relaxation = setup
+        steps = relaxation.steps
+        for quality in system.qualities:
+            for state in range(0, system.n_actions - max(steps), 4):
+                uppers = [relaxation.bounds(state, quality, r)[1] for r in steps]
+                lowers = [relaxation.bounds(state, quality, r)[0] for r in steps]
+                assert all(a >= b - 1e-9 for a, b in zip(uppers, uppers[1:]))
+                finite = [v for v in lowers if np.isfinite(v)]
+                assert all(a <= b + 1e-9 for a, b in zip(finite, finite[1:]))
+
+    def test_containment_in_quality_regions(self, setup):
+        _, _, _, regions, relaxation = setup
+        assert check_relaxation_containment(regions, relaxation)
+
+    def test_unknown_step_count_rejected(self, setup):
+        _, _, _, _, relaxation = setup
+        with pytest.raises(KeyError):
+            relaxation.bounds(0, 0, 999)
+
+    def test_memory_footprint_formula(self, setup):
+        system, _, _, _, relaxation = setup
+        expected = 2 * system.n_actions * len(system.qualities) * len(relaxation.steps)
+        assert relaxation.memory_footprint().integers == expected
+
+
+class TestRelaxationGuarantee:
+    def test_relaxed_choice_is_invariant_over_admissible_futures(self, setup):
+        """From a state inside R^r_q, whatever the next r actual times (<= Cwc),
+        the un-relaxed manager would keep choosing q."""
+        system, _, td, _, relaxation = setup
+        rng = np.random.default_rng(5)
+        checked = 0
+        for state in range(0, system.n_actions - 8):
+            for quality in system.qualities:
+                lower, upper = relaxation.bounds(state, quality, 8)
+                if not np.isfinite(upper) or upper <= max(lower, 0.0):
+                    continue
+                start = max(lower, 0.0) + (upper - max(lower, 0.0)) * 0.5
+                # random admissible future for the next 8 actions
+                for _ in range(3):
+                    time = start
+                    for j in range(state, state + 8):
+                        assert td.choose_quality(j, time) == quality
+                        worst = system.worst_case.of(j + 1, quality)
+                        time += rng.uniform(0.0, worst)
+                    checked += 1
+        assert checked > 0  # the workload must actually exercise relaxation
+
+    def test_max_relaxation_returns_largest_containing_region(self, setup):
+        system, _, _, _, relaxation = setup
+        found_multi = False
+        for state in range(system.n_actions):
+            for quality in system.qualities:
+                lower, upper = relaxation.bounds(state, quality, 1)
+                if not np.isfinite(upper) or upper <= max(lower, 0.0):
+                    continue
+                time = max(lower, 0.0) + (upper - max(lower, 0.0)) * 0.5
+                best = relaxation.max_relaxation(state, time, quality)
+                assert best >= 1
+                assert relaxation.contains(state, time, quality, best) or best == 1
+                if best > 1:
+                    found_multi = True
+                    # every granted step count must indeed contain the state
+                    assert relaxation.contains(state, time, quality, best)
+        assert found_multi
+
+
+class TestRelaxationManager:
+    def test_identical_qualities_to_numeric_manager(self, setup):
+        system, deadlines, td, regions, relaxation = setup
+        numeric = NumericQualityManager(td)
+        relaxed = RelaxationQualityManager(regions, relaxation)
+        for seed in range(5):
+            scenario = system.draw_scenario(np.random.default_rng(seed))
+            a = run_cycle(system, numeric, scenario=scenario)
+            b = run_cycle(system, relaxed, scenario=scenario)
+            assert np.array_equal(a.qualities, b.qualities)
+            assert a.makespan == pytest.approx(b.makespan)
+
+    def test_fewer_invocations_than_region_manager(self, setup):
+        system, _, _, regions, relaxation = setup
+        relaxed = RelaxationQualityManager(regions, relaxation)
+        scenario = system.draw_scenario(np.random.default_rng(11))
+        outcome = run_cycle(system, relaxed, scenario=scenario)
+        assert outcome.manager_invocations.shape[0] < system.n_actions
+
+    def test_decision_steps_within_rho(self, setup):
+        system, _, _, regions, relaxation = setup
+        relaxed = RelaxationQualityManager(regions, relaxation)
+        scenario = system.draw_scenario(np.random.default_rng(2))
+        outcome = run_cycle(system, relaxed, scenario=scenario)
+        gaps = np.diff(np.append(outcome.manager_invocations, system.n_actions))
+        assert set(np.unique(gaps)).issubset(set(relaxation.steps) | {1})
+
+    def test_mismatched_tables_rejected(self, setup):
+        system, _, td, regions, _ = setup
+        other_system = make_synthetic_system(n_actions=30, n_levels=4, seed=99)
+        other_deadline = make_deadline(other_system)
+        other_td = compute_td_table(other_system, other_deadline)
+        with pytest.raises(ValueError):
+            RelaxationQualityManager(regions, RelaxationTable(other_td, steps=(1, 2)))
+
+    def test_memory_footprint_is_relaxation_table(self, setup):
+        _, _, _, regions, relaxation = setup
+        relaxed = RelaxationQualityManager(regions, relaxation)
+        assert relaxed.memory_footprint().integers == relaxation.memory_footprint().integers

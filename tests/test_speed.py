@@ -1,0 +1,195 @@
+"""Tests for speed diagrams: virtual time, speeds, Proposition 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeadlineFunction,
+    NumericQualityManager,
+    SpeedDiagram,
+    compute_td_table,
+    run_cycle,
+)
+
+from helpers import make_deadline, make_synthetic_system
+from test_policy import brute_cav, brute_delta_max
+
+
+@pytest.fixture(scope="module")
+def setup():
+    system = make_synthetic_system(n_actions=20, n_levels=4, seed=13)
+    deadlines = make_deadline(system, slack=1.3)
+    td = compute_td_table(system, deadlines)
+    diagram = SpeedDiagram(system, deadlines, td_table=td)
+    return system, deadlines, td, diagram
+
+
+class TestVirtualTime:
+    def test_origin_and_endpoint(self, setup):
+        system, deadlines, _, diagram = setup
+        for quality in system.qualities:
+            assert diagram.virtual_time(0, quality) == pytest.approx(0.0)
+            assert diagram.virtual_time(system.n_actions, quality) == pytest.approx(
+                deadlines.final_deadline
+            )
+
+    def test_matches_formula(self, setup):
+        system, deadlines, _, diagram = setup
+        k = system.n_actions
+        deadline = deadlines.final_deadline
+        for quality in system.qualities:
+            total = brute_cav(system, 1, k, quality)
+            for state in (1, 5, 12):
+                expected = brute_cav(system, 1, state, quality) / total * deadline
+                assert diagram.virtual_time(state, quality) == pytest.approx(expected)
+
+    def test_virtual_times_vector_matches_scalar(self, setup):
+        system, _, _, diagram = setup
+        quality = system.qualities.maximum
+        vector = diagram.virtual_times(quality)
+        for state in range(system.n_actions + 1):
+            assert vector[state] == pytest.approx(diagram.virtual_time(state, quality))
+
+    def test_monotone_in_state(self, setup):
+        system, _, _, diagram = setup
+        for quality in system.qualities:
+            assert np.all(np.diff(diagram.virtual_times(quality)) >= -1e-12)
+
+    def test_bounds_checked(self, setup):
+        system, _, _, diagram = setup
+        with pytest.raises(IndexError):
+            diagram.virtual_time(system.n_actions + 1, 0)
+
+
+class TestSpeeds:
+    def test_ideal_speed_formula(self, setup):
+        system, deadlines, _, diagram = setup
+        k = system.n_actions
+        for quality in system.qualities:
+            expected = deadlines.final_deadline / brute_cav(system, 1, k, quality)
+            assert diagram.ideal_speed(quality) == pytest.approx(expected)
+
+    def test_ideal_speed_decreases_with_quality(self, setup):
+        system, _, _, diagram = setup
+        speeds = [diagram.ideal_speed(q) for q in system.qualities]
+        assert all(a >= b for a, b in zip(speeds, speeds[1:]))
+
+    def test_safety_margin_matches_delta_max(self, setup):
+        system, _, _, diagram = setup
+        k = system.n_actions
+        for quality in system.qualities:
+            for state in (0, 4, 11):
+                expected = brute_delta_max(system, state + 1, k, quality)
+                assert diagram.safety_margin(state, quality) == pytest.approx(expected)
+
+    def test_optimal_speed_formula(self, setup):
+        system, deadlines, _, diagram = setup
+        k = system.n_actions
+        deadline = deadlines.final_deadline
+        quality = 1
+        state = 3
+        time = deadline * 0.2
+        total = brute_cav(system, 1, k, quality)
+        remaining = brute_cav(system, state + 1, k, quality)
+        margin = brute_delta_max(system, state + 1, k, quality)
+        expected = (deadline / total) * remaining / (deadline - margin - time)
+        assert diagram.optimal_speed(state, time, quality) == pytest.approx(expected)
+
+    def test_optimal_speed_infinite_when_budget_gone(self, setup):
+        system, deadlines, _, diagram = setup
+        quality = system.qualities.maximum
+        state = 1
+        hopeless_time = deadlines.final_deadline * 2.0
+        assert diagram.optimal_speed(state, hopeless_time, quality) == np.inf
+
+    def test_optimal_speed_increases_as_time_passes(self, setup):
+        """The later the actual time (at a fixed state), the faster one must go."""
+        system, deadlines, _, diagram = setup
+        quality = 1
+        state = 2
+        times = np.linspace(0.0, deadlines.final_deadline * 0.5, 10)
+        speeds = [diagram.optimal_speed(state, float(t), quality) for t in times]
+        assert all(a <= b + 1e-12 for a, b in zip(speeds, speeds[1:]))
+
+
+class TestProposition1:
+    def test_agreement_on_grid(self, setup):
+        system, deadlines, _, diagram = setup
+        times = np.linspace(0.0, deadlines.final_deadline, 23)
+        for state in range(0, system.n_actions, 2):
+            for quality in system.qualities:
+                for time in times:
+                    assert diagram.assess(state, float(time), quality).proposition1_agrees
+
+    def test_choice_matches_td_table(self, setup):
+        system, deadlines, td, diagram = setup
+        rng = np.random.default_rng(0)
+        for state in range(system.n_actions):
+            for time in rng.uniform(0.0, deadlines.final_deadline, size=4):
+                assert diagram.choose_quality(state, float(time)) == td.choose_quality(
+                    state, float(time)
+                )
+
+    def test_admissible_qualities_are_downward_closed(self, setup):
+        """If quality q is admissible then every lower quality is too."""
+        system, deadlines, _, diagram = setup
+        rng = np.random.default_rng(7)
+        for state in (0, 6, 15):
+            for time in rng.uniform(0.0, deadlines.final_deadline * 0.8, size=5):
+                admissible = diagram.admissible_qualities(state, float(time))
+                if admissible:
+                    top = max(admissible)
+                    assert admissible == [q for q in system.qualities if q <= top]
+
+
+class TestFigureMaterial:
+    def test_trajectory_of_executed_cycle(self, setup):
+        system, deadlines, td, diagram = setup
+        outcome = run_cycle(system, NumericQualityManager(td), rng=np.random.default_rng(3))
+        trajectory = diagram.trajectory(outcome)
+        assert trajectory["actual_time"].shape[0] == system.n_actions + 1
+        assert trajectory["virtual_time"].shape[0] == system.n_actions + 1
+        assert trajectory["actual_time"][0] == 0.0
+        assert np.all(np.diff(trajectory["actual_time"]) >= 0.0)
+
+    def test_trajectory_with_reference_quality(self, setup):
+        system, _, td, diagram = setup
+        outcome = run_cycle(system, NumericQualityManager(td), rng=np.random.default_rng(3))
+        trajectory = diagram.trajectory(outcome, reference_quality=system.qualities.minimum)
+        expected = diagram.virtual_times(system.qualities.minimum)
+        assert np.allclose(trajectory["virtual_time"], expected)
+
+    def test_region_border_series(self, setup):
+        system, _, td, diagram = setup
+        border = diagram.region_border(2)
+        assert border["actual_time"].shape[0] == system.n_actions
+        assert np.allclose(border["actual_time"], td.values[system.qualities.index_of(2)])
+
+    def test_diagonal(self, setup):
+        _, deadlines, _, diagram = setup
+        diagonal = diagram.diagonal(points=5)
+        assert np.allclose(diagonal["actual_time"], diagonal["virtual_time"])
+        assert diagonal["actual_time"][-1] == pytest.approx(deadlines.final_deadline)
+
+
+class TestConstruction:
+    def test_target_must_carry_deadline(self, setup):
+        system, deadlines, _, _ = setup
+        with pytest.raises(ValueError):
+            SpeedDiagram(system, deadlines, target_index=1)
+
+    def test_target_beyond_system_rejected(self):
+        system = make_synthetic_system(n_actions=5)
+        deadlines = DeadlineFunction.single(9, 100.0)
+        with pytest.raises(ValueError):
+            SpeedDiagram(system, deadlines)
+
+    def test_intermediate_target_allowed(self):
+        system = make_synthetic_system(n_actions=10, seed=5)
+        qmin_total = system.worst_case.total(1, 10, 0)
+        deadlines = DeadlineFunction({5: qmin_total, 10: qmin_total * 1.5})
+        diagram = SpeedDiagram(system, deadlines, target_index=5)
+        assert diagram.target_index == 5
+        assert diagram.deadline == pytest.approx(qmin_total)

@@ -1,0 +1,187 @@
+"""Tests for the t^D table computation and the manager's choice rule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AveragePolicy,
+    DeadlineFunction,
+    InfeasibleSystemError,
+    MixedPolicy,
+    SafePolicy,
+    compute_td_table,
+)
+
+from helpers import make_deadline, make_synthetic_system
+from test_policy import brute_mixed
+
+
+def brute_td(system, deadlines, state_index: int, quality: int) -> float:
+    """Direct transcription: t^D(s_i, q) = min_k D(a_k) - C^D(a_{i+1}..a_k, q)."""
+    best = np.inf
+    for k, deadline in deadlines:
+        if k <= state_index:
+            continue
+        best = min(best, deadline - brute_mixed(system, state_index + 1, k, quality))
+    return best
+
+
+@pytest.fixture(scope="module")
+def system():
+    return make_synthetic_system(n_actions=18, n_levels=4, seed=3)
+
+
+@pytest.fixture(scope="module")
+def deadlines(system):
+    return make_deadline(system, slack=1.25)
+
+
+@pytest.fixture(scope="module")
+def td(system, deadlines):
+    return compute_td_table(system, deadlines)
+
+
+class TestComputation:
+    def test_matches_brute_force_single_deadline(self, system, deadlines, td):
+        for quality in system.qualities:
+            for state in range(system.n_actions):
+                assert td.td(state, quality) == pytest.approx(
+                    brute_td(system, deadlines, state, quality)
+                )
+
+    def test_matches_brute_force_multiple_deadlines(self, system):
+        n = system.n_actions
+        qmin = system.qualities.minimum
+        mid = n // 2
+        deadlines = DeadlineFunction(
+            {
+                mid: system.worst_case.total(1, mid, qmin) * 1.4,
+                n: system.worst_case.total(1, n, qmin) * 1.3,
+            }
+        )
+        table = compute_td_table(system, deadlines)
+        for quality in system.qualities:
+            for state in range(n):
+                assert table.td(state, quality) == pytest.approx(
+                    brute_td(system, deadlines, state, quality)
+                )
+
+    def test_shape(self, system, td):
+        assert td.values.shape == (len(system.qualities), system.n_actions)
+        assert td.n_states == system.n_actions
+        assert td.n_levels == len(system.qualities)
+
+    def test_monotone_in_quality(self, td):
+        assert td.is_monotone_in_quality()
+
+    def test_monotone_in_state_for_mixed_policy(self, td):
+        # along a cycle, as work gets done, the admissible start time grows
+        assert np.all(np.diff(td.values, axis=1) >= -1e-9)
+
+    def test_initial_feasibility_margin_positive(self, td):
+        assert td.initial_feasibility_margin() >= 0.0
+
+    def test_default_policy_is_mixed(self, td):
+        assert isinstance(td.policy, MixedPolicy)
+
+    def test_values_read_only(self, td):
+        with pytest.raises(ValueError):
+            td.values[0, 0] = 0.0
+
+
+class TestChoice:
+    def test_choose_maximal_admissible_quality(self, system, td):
+        state = system.n_actions // 3
+        column = td.column(state)
+        # at a time just below the highest-quality bound the choice is q_max
+        assert td.choose_quality(state, column[-1] - 1e-9) == system.qualities.maximum
+
+    def test_choice_respects_region_boundaries(self, system, td):
+        state = 2
+        for qi, quality in enumerate(system.qualities):
+            boundary = td.values[qi, state]
+            assert td.choose_quality(state, boundary) == quality or boundary == pytest.approx(
+                td.values[min(qi + 1, td.n_levels - 1), state]
+            )
+
+    def test_overload_falls_back_to_minimum(self, system, td):
+        state = system.n_actions - 1
+        very_late = td.values[0, state] + 1.0
+        assert td.choose_quality(state, very_late) == system.qualities.minimum
+
+    def test_choice_is_non_increasing_in_time(self, system, td):
+        state = 5
+        times = np.linspace(0.0, td.values[0, state] * 1.2, 40)
+        choices = [td.choose_quality(state, t) for t in times]
+        assert all(a >= b for a, b in zip(choices, choices[1:]))
+
+    def test_choose_quality_row(self, system, td):
+        state = 1
+        time = td.values[-1, state] * 0.5
+        row = td.choose_quality_row(state, time)
+        assert system.qualities.level_at(row) == td.choose_quality(state, time)
+
+    def test_column_bounds_checked(self, td):
+        with pytest.raises(IndexError):
+            td.column(-1)
+        with pytest.raises(IndexError):
+            td.column(td.n_states)
+
+    def test_td_bounds_checked(self, td):
+        with pytest.raises(IndexError):
+            td.td(td.n_states, 0)
+
+
+class TestFeasibilityAndErrors:
+    def test_infeasible_system_rejected(self, system):
+        # a deadline below the all-min worst case is infeasible
+        tight = DeadlineFunction.single(
+            system.n_actions,
+            system.worst_case.total(1, system.n_actions, system.qualities.minimum) * 0.5,
+        )
+        with pytest.raises(InfeasibleSystemError):
+            compute_td_table(system, tight)
+
+    def test_infeasible_allowed_when_not_required(self, system):
+        tight = DeadlineFunction.single(
+            system.n_actions,
+            system.worst_case.total(1, system.n_actions, system.qualities.minimum) * 0.5,
+        )
+        table = compute_td_table(system, tight, require_feasible=False)
+        assert table.initial_feasibility_margin() < 0.0
+
+    def test_average_policy_never_raises_feasibility(self, system):
+        tight = DeadlineFunction.single(
+            system.n_actions,
+            system.average.total(1, system.n_actions, system.qualities.minimum) * 0.9,
+        )
+        # AveragePolicy does not guarantee safety, so feasibility is not enforced
+        table = compute_td_table(system, tight, policy=AveragePolicy())
+        assert table.policy.name == "average"
+
+    def test_deadline_beyond_system_rejected(self, system):
+        deadlines = DeadlineFunction.single(system.n_actions + 3, 100.0)
+        with pytest.raises(InfeasibleSystemError):
+            compute_td_table(system, deadlines)
+
+    def test_missing_final_deadline_rejected(self, system):
+        # a deadline only on an early action leaves later states unconstrained
+        deadlines = DeadlineFunction.single(2, 100.0)
+        with pytest.raises(InfeasibleSystemError):
+            compute_td_table(system, deadlines)
+
+
+class TestPolicyOrdering:
+    def test_safe_policy_td_not_above_mixed_at_high_quality_start(self, system, deadlines):
+        """The mixed t^D is never above the safe t^D (C^D >= C^sf)."""
+        mixed = compute_td_table(system, deadlines, MixedPolicy())
+        safe = compute_td_table(system, deadlines, SafePolicy())
+        assert np.all(mixed.values <= safe.values + 1e-9)
+
+    def test_average_policy_td_is_upper_bound(self, system, deadlines):
+        """The optimistic average t^D dominates the mixed t^D."""
+        mixed = compute_td_table(system, deadlines, MixedPolicy())
+        average = compute_td_table(system, deadlines, AveragePolicy())
+        assert np.all(average.values >= mixed.values - 1e-9)

@@ -1,0 +1,155 @@
+"""Tests for the fundamental value types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Action,
+    QualitySet,
+    ScheduledSequence,
+    SystemState,
+)
+
+
+class TestAction:
+    def test_valid_action(self):
+        action = Action(index=3, name="dct", group="mb1")
+        assert action.index == 3
+        assert action.name == "dct"
+        assert action.group == "mb1"
+
+    def test_index_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Action(index=0, name="bad")
+
+    def test_str_uses_name(self):
+        assert str(Action(index=1, name="encode")) == "encode"
+
+    def test_str_falls_back_to_index(self):
+        assert str(Action(index=7, name="")) == "a7"
+
+    def test_frozen(self):
+        action = Action(index=1, name="x")
+        with pytest.raises(AttributeError):
+            action.name = "y"  # type: ignore[misc]
+
+
+class TestSystemState:
+    def test_initial_state(self):
+        state = SystemState(0, 0.0)
+        assert state.index == 0
+        assert state.time == 0.0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            SystemState(-1, 0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            SystemState(0, -0.5)
+
+    def test_advanced(self):
+        state = SystemState(2, 1.5).advanced(0.75)
+        assert state.index == 3
+        assert state.time == pytest.approx(2.25)
+
+    def test_advanced_does_not_mutate(self):
+        state = SystemState(0, 0.0)
+        state.advanced(1.0)
+        assert state.index == 0 and state.time == 0.0
+
+
+class TestQualitySet:
+    def test_basic_range(self):
+        qualities = QualitySet(0, 6)
+        assert len(qualities) == 7
+        assert list(qualities) == [0, 1, 2, 3, 4, 5, 6]
+        assert qualities.minimum == 0
+        assert qualities.maximum == 6
+
+    def test_of_size(self):
+        qualities = QualitySet.of_size(4, start=2)
+        assert list(qualities) == [2, 3, 4, 5]
+
+    def test_of_size_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            QualitySet.of_size(0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            QualitySet(3, 1)
+
+    def test_membership(self):
+        qualities = QualitySet(1, 3)
+        assert 2 in qualities
+        assert 0 not in qualities
+        assert 4 not in qualities
+        assert "2" not in qualities
+
+    def test_clamp(self):
+        qualities = QualitySet(0, 5)
+        assert qualities.clamp(-2) == 0
+        assert qualities.clamp(9) == 5
+        assert qualities.clamp(3) == 3
+
+    def test_index_roundtrip(self):
+        qualities = QualitySet(2, 8)
+        for level in qualities:
+            assert qualities.level_at(qualities.index_of(level)) == level
+
+    def test_index_of_rejects_outsiders(self):
+        with pytest.raises(ValueError):
+            QualitySet(0, 3).index_of(4)
+
+    def test_level_at_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            QualitySet(0, 3).level_at(4)
+
+    def test_equality_and_hash(self):
+        assert QualitySet(0, 3) == QualitySet(0, 3)
+        assert QualitySet(0, 3) != QualitySet(0, 4)
+        assert hash(QualitySet(1, 2)) == hash(QualitySet(1, 2))
+
+    def test_singleton_set(self):
+        qualities = QualitySet(5, 5)
+        assert len(qualities) == 1
+        assert list(qualities) == [5]
+        assert qualities.clamp(0) == 5
+
+
+class TestScheduledSequence:
+    def test_from_names(self):
+        sequence = ScheduledSequence.from_names(["load", "transform", "store"])
+        assert len(sequence) == 3
+        assert sequence[1].name == "load"
+        assert sequence[3].name == "store"
+        assert sequence.names() == ["load", "transform", "store"]
+
+    def test_uniform(self):
+        sequence = ScheduledSequence.uniform(5)
+        assert len(sequence) == 5
+        assert sequence[5].name == "a5"
+
+    def test_uniform_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            ScheduledSequence.uniform(0)
+
+    def test_one_based_indexing_bounds(self):
+        sequence = ScheduledSequence.uniform(3)
+        with pytest.raises(IndexError):
+            sequence[0]
+        with pytest.raises(IndexError):
+            sequence[4]
+
+    def test_actions_must_be_consecutively_numbered(self):
+        with pytest.raises(ValueError):
+            ScheduledSequence((Action(index=2, name="x"),))
+
+    def test_iteration_preserves_order(self):
+        sequence = ScheduledSequence.from_names(["a", "b", "c"])
+        assert [a.index for a in sequence] == [1, 2, 3]
+
+    def test_groups(self):
+        sequence = ScheduledSequence.from_names(["a", "b"], group="frame0")
+        assert sequence.groups() == ["frame0", "frame0"]
