@@ -1,0 +1,96 @@
+"""Facade overhead guard: ``repro.api.Session`` versus direct ``run_cycle``.
+
+The facade is a convenience layer over the same execution loop; it must never
+become a hot-path regression.  This bench runs identical multi-cycle
+workloads through (a) a pre-compiled manager driven by bare
+:func:`repro.core.run_cycle` calls and (b) a pre-compiled
+:class:`repro.api.Session`, and asserts the facade costs less than 5 % extra
+wall clock.  Compilation is excluded from both sides (it is cached in the
+session and hoisted in the direct loop) — the comparison is purely the run
+layer.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.api import Session
+from repro.core import run_cycle
+
+_CYCLES = 8
+_REPEATS = 9
+_MAX_OVERHEAD = 0.05
+
+
+def _min_time(fn, repeats: int = _REPEATS) -> float:
+    """Best-of-N wall clock of one invocation (robust to scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_facade_overhead_under_5pct(fast_workload):
+    """``Session.run`` stays within 5 % of hand-wired ``run_cycle`` calls."""
+    system = fast_workload.build_system()
+    deadlines = fast_workload.deadlines()
+
+    session = (
+        Session().system(system).deadlines(deadlines).manager("relaxation").seed(1)
+    )
+    manager = session.build()  # also warms the compilation cache
+
+    def direct() -> None:
+        rng = np.random.default_rng(1)
+        for _ in range(_CYCLES):
+            run_cycle(system, manager, rng=rng)
+
+    def facade() -> None:
+        session.run(cycles=_CYCLES, seed=1)
+
+    # warm-up (numpy allocators, lazy imports)
+    direct()
+    facade()
+
+    # the measurement is noisy at the millisecond scale; take the best ratio
+    # over a few rounds before declaring a regression
+    best_ratio = float("inf")
+    for _ in range(3):
+        direct_s = _min_time(direct)
+        facade_s = _min_time(facade)
+        best_ratio = min(best_ratio, facade_s / direct_s)
+        if best_ratio <= 1.0 + _MAX_OVERHEAD:
+            break
+    assert best_ratio <= 1.0 + _MAX_OVERHEAD, (
+        f"facade adds {100.0 * (best_ratio - 1.0):.1f} % over direct run_cycle "
+        f"(limit {100.0 * _MAX_OVERHEAD:.0f} %)"
+    )
+
+
+def bench_session_run(benchmark, fast_workload):
+    """Throughput of the facade run layer itself (cached compilation)."""
+    session = (
+        Session()
+        .system(fast_workload.build_system())
+        .deadlines(fast_workload.deadlines())
+        .manager("relaxation")
+        .seed(1)
+    )
+    session.compile()
+    result = benchmark(session.run, _CYCLES, seed=1)
+    assert result.n_cycles == _CYCLES
+    benchmark.extra_info["actions_per_cycle"] = result.outcomes[0].n_actions
+
+
+def bench_session_compare_reuses_compilation(benchmark, fast_workload):
+    """A three-manager comparison without recompilation between runs."""
+    session = Session().system(fast_workload.build_system()).deadlines(
+        fast_workload.deadlines()
+    )
+    session.compile()
+    batch = benchmark(session.compare, cycles=2, seed=1)
+    assert batch.labels == ("numeric", "region", "relaxation")

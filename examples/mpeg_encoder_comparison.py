@@ -16,44 +16,35 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.analysis import (
-    compute_metrics,
-    memory_report,
-    overhead_report,
-    sparkline,
-)
-from repro.core import QualityManagerCompiler
+from repro.analysis import memory_report, overhead_report, sparkline
+from repro.api import Session
 from repro.media import paper_encoder
-from repro.platform import PlatformExecutor, ipod_video, relaxation_steps_used
+from repro.platform import relaxation_steps_used
 
 
 def main(n_frames: int = 8) -> None:
     workload = paper_encoder(seed=0).with_overrides(n_frames=n_frames)
-    system = workload.build_system()
-    deadlines = workload.deadlines()
+    session = Session().system(workload).machine("ipod").seed(1)
+    system = session.resolved_system()
     print(
         f"encoder: {system.n_actions} actions/frame, {len(system.qualities)} quality levels, "
         f"deadline {workload.deadline:.0f} s/frame, {n_frames} frames"
     )
 
-    controllers = QualityManagerCompiler().compile(system, deadlines)
     print()
-    print(memory_report(controllers.report))
+    print(memory_report(session.compile().report))
 
-    executor = PlatformExecutor(ipod_video())
-    results = executor.compare(system, deadlines, controllers.managers(), n_cycles=n_frames, seed=1)
-    metrics = {
-        name: compute_metrics(result.outcomes, deadlines) for name, result in results.items()
-    }
+    # identical per-frame scenarios for the three compiled managers
+    batch = session.compare(cycles=n_frames, seed=1)
     print()
-    print(overhead_report(metrics))
+    print(overhead_report(batch.metrics))
 
     print("\naverage quality level per frame (Figure 7):")
-    for name, result in results.items():
-        series = result.mean_quality_per_cycle
+    for name, run in batch.runs.items():
+        series = run.mean_quality_per_cycle
         print(f"  {name:11s} {sparkline(series, width=40)}   mean {series.mean():.2f}")
 
-    relaxed = results["relaxation"].outcomes[0]
+    relaxed = batch["relaxation"].outcomes[0]
     steps = relaxation_steps_used(relaxed)
     print(
         f"\ncontrol relaxation on frame 0: {len(steps)} manager calls for "

@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
 """Quickstart: build a small parameterized system and control it.
 
-Shows the whole public-API workflow on a 12-action synthetic pipeline:
+Shows the whole public-API workflow on a 12-action synthetic pipeline,
+driven through the :mod:`repro.api` facade:
 
 1. describe the application (actions, quality levels, ``C^av`` / ``C^wc``);
-2. attach a deadline;
-3. compile the Quality Managers (numeric + symbolic);
-4. run one cycle under each manager and audit the traces;
+2. configure a :class:`repro.api.Session` (deadline, policy, manager);
+3. run one cycle under every registered manager flavour on identical inputs;
+4. audit the traces and read the aggregated metrics;
 5. inspect the speed diagram of the executed cycle.
 
 Run with ``python examples/quickstart.py``.
@@ -22,14 +23,12 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.analysis import render_speed_diagram
+from repro.api import Session
 from repro.core import (
     DeadlineFunction,
     ParameterizedSystem,
-    QualityManagerCompiler,
     QualitySet,
     SpeedDiagram,
-    audit_trace,
-    run_cycle,
 )
 
 
@@ -68,28 +67,37 @@ def main() -> None:
     print(f"pipeline: {system.n_actions} actions, {len(system.qualities)} quality levels")
     print(f"cycle deadline: {budget:.1f} ms   feasible: {system.is_feasible(deadlines)}")
 
-    # compile the numeric and symbolic Quality Managers
-    controllers = QualityManagerCompiler(relaxation_steps=(1, 2, 4)).compile(system, deadlines)
+    # one session: deadline + policy configured once, tables compiled lazily
+    # (and cached — every run below reuses the same compilation)
+    session = (
+        Session()
+        .system(system)
+        .deadlines(deadlines)
+        .policy("mixed")
+        .relaxation_steps(1, 2, 4)
+        .seed(3)
+    )
+    report = session.compile().report
     print(
         "symbolic tables: "
-        f"{controllers.report.region_integers} integers (quality regions), "
-        f"{controllers.report.relaxation_integers} integers (control relaxation)"
+        f"{report.region_integers} integers (quality regions), "
+        f"{report.relaxation_integers} integers (control relaxation)"
     )
 
-    # run the same input data under each manager
-    scenario = system.draw_scenario(np.random.default_rng(3))
+    # run the three compiled managers on identical input data
+    batch = session.compare("numeric", "region", "relaxation", cycles=1, seed=3)
     print("\nmanager     qualities                              makespan  calls  safe")
-    for name, manager in controllers.managers().items():
-        outcome = run_cycle(system, manager, scenario=scenario)
-        audit = audit_trace(outcome, deadlines)
+    for name, run in batch.runs.items():
+        outcome = run.outcomes[0]
         print(
             f"{name:11s} {''.join(str(q) for q in outcome.qualities):38s} "
-            f"{outcome.makespan:7.1f}  {len(outcome.manager_invocations):5d}  {audit.is_safe}"
+            f"{outcome.makespan:7.1f}  {len(outcome.manager_invocations):5d}  "
+            f"{run.all_deadlines_met}"
         )
 
-    # the speed diagram of the executed cycle (Figure 3/4 style)
-    diagram = SpeedDiagram(system, deadlines, td_table=controllers.td_table)
-    outcome = run_cycle(system, controllers.region, scenario=scenario)
+    # the speed diagram of the region-managed cycle above (Figure 3/4 style)
+    diagram = SpeedDiagram(system, deadlines, td_table=session.compile().td_table)
+    outcome = batch["region"].outcomes[0]
     print("\nspeed diagram (diagonal, region borders, trajectory):\n")
     print(render_speed_diagram(diagram, outcome, width=64, height=18))
 

@@ -19,15 +19,15 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.analysis import render_speed_diagram
-from repro.core import QualityManagerCompiler, SpeedDiagram, run_cycle
-from repro.media import small_encoder
+from repro.api import Session
+from repro.core import SpeedDiagram
 
 
 def main() -> None:
-    workload = small_encoder(seed=2)
-    system = workload.build_system()
-    deadlines = workload.deadlines()
-    controllers = QualityManagerCompiler().compile(system, deadlines)
+    session = Session().system("small").seed(2)
+    system = session.resolved_system()
+    deadlines = session.resolved_deadlines()
+    controllers = session.compile()
     diagram = SpeedDiagram(system, deadlines, td_table=controllers.td_table)
     deadline = deadlines.final_deadline
 
@@ -77,7 +77,7 @@ def main() -> None:
     )
 
     # 5. the full diagram with an executed trajectory
-    outcome = run_cycle(system, controllers.relaxation, rng=np.random.default_rng(1))
+    outcome = next(session.manager("relaxation").stream(1, seed=1))
     print("\nspeed diagram of one executed cycle:\n")
     print(render_speed_diagram(diagram, outcome, qualities_to_show=[0, 3, 6], width=70, height=20))
 

@@ -1,15 +1,16 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so the package can be installed in
-environments without network access (legacy editable installs:
-``pip install -e . --no-build-isolation --no-use-pep517``).
+``pyproject.toml`` is the canonical metadata; the fields are mirrored here
+only so legacy offline editable installs keep working on setuptools < 61
+(which cannot read ``[project]`` tables):
+``pip install -e . --no-build-isolation --no-use-pep517``.
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Speed diagrams and symbolic quality management for soft/hard real-time "
         "multimedia software (reproduction of Combaz et al., IPPS 2007)"

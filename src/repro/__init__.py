@@ -5,6 +5,9 @@ Management"* (J. Combaz, J.-C. Fernandez, J. Sifakis, L. Strus — IPPS 2007).
 
 The library provides:
 
+* :mod:`repro.api` — the unified facade: the manager registry, the fluent
+  :class:`~repro.api.Session` builder and the batched multi-cycle run layer.
+  This is the canonical entry point.
 * :mod:`repro.core` — the quality-management model: parameterized systems,
   quality-management policies, the numeric Quality Manager, speed diagrams,
   quality regions, control relaxation regions and the controller compiler.
@@ -22,19 +25,50 @@ The library provides:
 
 Quick start::
 
-    from repro.core import (DeadlineFunction, QualityManagerCompiler,
-                            ControlledSystem)
-    from repro.media import build_encoder_system
+    from repro.api import Session
 
-    system = build_encoder_system(seed=0)
-    deadlines = DeadlineFunction.single(system.n_actions, 30.0)
-    controllers = QualityManagerCompiler().compile(system, deadlines)
-    controlled = ControlledSystem(system, deadlines, controllers.relaxation)
-    outcome = controlled.run_cycle()
+    result = (
+        Session()
+        .system("small")            # the QCIF encoder workload
+        .manager("relaxation")      # any key from available_managers()
+        .machine("ipod")            # the paper's virtual platform
+        .seed(0)
+        .run(cycles=6)
+    )
+    print(result.metrics.as_row())
+    print(result.quality_histogram)
+
+Submodules are imported lazily: ``import repro`` is cheap, and e.g.
+``repro.media`` is loaded on first attribute access.
 """
 
-from . import core
+from importlib import import_module
+from typing import Any
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["core", "__version__"]
+_SUBMODULES = (
+    "analysis",
+    "api",
+    "baselines",
+    "cli",
+    "core",
+    "experiments",
+    "extensions",
+    "media",
+    "platform",
+)
+
+__all__ = [*_SUBMODULES, "__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _SUBMODULES:
+        module = import_module(f".{name}", __name__)
+        globals()[name] = module  # cache: next access skips __getattr__
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,150 @@
+"""Result objects of the facade's run layer.
+
+A :class:`RunResult` aggregates the cycle traces of one manager; a
+:class:`BatchResult` groups several labelled runs (a manager comparison on
+identical scenarios, or a scenario sweep).  Metric aggregation delegates to
+:mod:`repro.analysis.metrics` and is computed lazily — building a result is
+free, so the facade adds no work to the execution hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.analysis.metrics import QualityMetrics, compute_metrics
+from repro.analysis.reports import metrics_report
+from repro.core.deadlines import DeadlineFunction
+from repro.core.system import CycleOutcome
+
+__all__ = ["RunResult", "BatchResult"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Cycle traces of one manager plus lazily-computed aggregates."""
+
+    manager_key: str
+    manager_name: str
+    outcomes: tuple[CycleOutcome, ...]
+    deadlines: DeadlineFunction
+    seed: int | None = None
+    machine_name: str | None = None
+
+    @property
+    def n_cycles(self) -> int:
+        """Number of executed cycles."""
+        return len(self.outcomes)
+
+    @cached_property
+    def metrics(self) -> QualityMetrics:
+        """Safety/optimality/smoothness/overhead aggregates (computed once)."""
+        return compute_metrics(self.outcomes, self.deadlines)
+
+    @cached_property
+    def mean_quality_per_cycle(self) -> np.ndarray:
+        """Average quality of each cycle (the Figure 7 series)."""
+        return np.array([outcome.mean_quality for outcome in self.outcomes])
+
+    @cached_property
+    def quality_histogram(self) -> dict[int, int]:
+        """Action counts per chosen quality level, over all cycles."""
+        if not self.outcomes:
+            return {}
+        qualities = np.concatenate([outcome.qualities for outcome in self.outcomes])
+        levels, counts = np.unique(qualities, return_counts=True)
+        return {int(level): int(count) for level, count in zip(levels, counts)}
+
+    @property
+    def mean_quality(self) -> float:
+        """Mean quality level over all actions of all cycles."""
+        return self.metrics.mean_quality
+
+    @property
+    def deadline_misses(self) -> int:
+        """Number of deadline violations over the run."""
+        return self.metrics.deadline_misses
+
+    @property
+    def all_deadlines_met(self) -> bool:
+        """True when no cycle missed any deadline."""
+        return self.metrics.is_safe
+
+    @property
+    def total_overhead_seconds(self) -> float:
+        """Total Quality-Manager overhead charged over the run."""
+        return self.metrics.overhead_seconds
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Total overhead divided by total execution time."""
+        return self.metrics.overhead_fraction
+
+    @property
+    def total_manager_calls(self) -> int:
+        """Total Quality Manager invocations over the run."""
+        return self.metrics.manager_calls
+
+    def render(self) -> str:
+        """One-manager metrics table."""
+        return metrics_report({self.manager_name: self.metrics})
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Several labelled runs — a manager comparison or a scenario sweep."""
+
+    runs: Mapping[str, RunResult] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "runs", dict(self.runs))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.runs)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __getitem__(self, label: str) -> RunResult:
+        return self.runs[label]
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Run labels in insertion order."""
+        return tuple(self.runs)
+
+    @cached_property
+    def metrics(self) -> dict[str, QualityMetrics]:
+        """Per-label metrics (the mapping the report helpers consume)."""
+        return {label: run.metrics for label, run in self.runs.items()}
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles executed across all runs."""
+        return sum(run.n_cycles for run in self.runs.values())
+
+    @property
+    def deadline_misses(self) -> dict[str, int]:
+        """Deadline violations per label."""
+        return {label: run.deadline_misses for label, run in self.runs.items()}
+
+    @property
+    def all_deadlines_met(self) -> bool:
+        """True when every run met every deadline."""
+        return all(run.all_deadlines_met for run in self.runs.values())
+
+    @property
+    def overhead_seconds(self) -> dict[str, float]:
+        """Total manager overhead per label."""
+        return {label: run.total_overhead_seconds for label, run in self.runs.items()}
+
+    def quality_histograms(self) -> dict[str, dict[int, int]]:
+        """Per-label quality histograms."""
+        return {label: run.quality_histogram for label, run in self.runs.items()}
+
+    def render(self) -> str:
+        """Comparison table over all runs."""
+        return metrics_report(self.metrics)

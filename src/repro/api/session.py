@@ -1,0 +1,642 @@
+"""Fluent session builder: configure once, compile lazily, run many times.
+
+The session replaces the hand-wired five-step dance
+(``build_encoder_system`` → ``DeadlineFunction`` → ``QualityManagerCompiler``
+→ pick a manager → ``run_cycle``) with one chainable object::
+
+    from repro.api import Session
+
+    result = (
+        Session()
+        .system("small")              # or an EncoderWorkload / ParameterizedSystem
+        .deadlines(period=8.0)        # optional: workloads carry their own
+        .policy("mixed")
+        .manager("relaxation")
+        .machine("ipod")              # optional virtual platform with overhead
+        .seed(0)
+        .run(cycles=6)
+    )
+    print(result.metrics.as_row())
+
+Design contract (the three facade guarantees):
+
+* **validate eagerly** — every setter checks its argument immediately, so a
+  typo'd manager key or policy name fails at build time, not mid-run;
+* **compile lazily, cache aggressively** — symbolic tables are generated on
+  the first run and reused until a setter actually changes what they depend
+  on (system, deadlines, policy or step set);
+* **batched runs** — :meth:`Session.run` executes N cycles,
+  :meth:`Session.compare` runs several managers on identical scenarios and
+  :meth:`Session.run_many` sweeps scenario specs; :meth:`Session.stream`
+  yields :class:`~repro.core.system.CycleOutcome` objects one at a time.
+
+Determinism: with a fixed seed, a freshly-configured session always produces
+the same results.  Note that systems built from encoder workloads carry a
+*stateful* frame sampler (each scenario draw advances through the synthetic
+video, wrapping after ``n_frames`` — see
+:class:`repro.media.timing_model.FrameScenarioSampler`), so consecutive runs
+on one session continue the sequence rather than replaying it; use a fresh
+session, :meth:`Session.compare` (which pre-draws scenarios once) or
+explicit ``scenarios=[...]`` for bitwise-identical repeats.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.compiler import CompiledControllers, QualityManagerCompiler
+from repro.core.controller import OverheadModelProtocol, run_cycle
+from repro.core.deadlines import DeadlineFunction
+from repro.core.manager import QualityManager
+from repro.core.policy import AveragePolicy, MixedPolicy, QualityManagementPolicy, SafePolicy
+from repro.core.relaxation import DEFAULT_RELAXATION_STEPS
+from repro.core.system import CycleOutcome, ParameterizedSystem
+from repro.core.timing import ActualTimeScenario
+
+from .registry import BuildContext, ManagerSpec, build_manager, validate_spec
+from .results import BatchResult, RunResult
+
+__all__ = ["Session", "SessionError", "ScenarioSpec"]
+
+
+class SessionError(ValueError):
+    """Invalid or incomplete session configuration."""
+
+
+_POLICIES: dict[str, type[QualityManagementPolicy]] = {
+    "mixed": MixedPolicy,
+    "safe": SafePolicy,
+    "average": AveragePolicy,
+}
+
+_MACHINES = ("ipod", "fast-embedded", "desktop")
+
+_OVERHEADS = ("none", "ipod", "fast-embedded", "desktop")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One entry of a :meth:`Session.run_many` sweep.
+
+    Every field is optional; unset fields fall back to the session's
+    configuration.  ``manager`` may be a registry key, a spec string
+    (``"constant:level=3"``) or a :class:`~repro.api.registry.ManagerSpec`.
+    """
+
+    label: str | None = None
+    manager: ManagerSpec | str | None = None
+    cycles: int | None = None
+    seed: int | None = None
+
+    def resolved_label(self, index: int) -> str:
+        """The run label: explicit, else derived from manager/seed/index."""
+        if self.label:
+            return self.label
+        parts = []
+        if self.manager is not None:
+            parts.append(str(ManagerSpec.coerce(self.manager)))
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        return " ".join(parts) if parts else f"scenario-{index}"
+
+
+class Session:
+    """Chainable facade over system construction, compilation and execution."""
+
+    def __init__(self) -> None:
+        self._workload_name: str | None = None
+        self._workload: Any = None  # EncoderWorkload once resolved
+        self._system: ParameterizedSystem | None = None
+        self._built_system: ParameterizedSystem | None = None
+        self._deadlines: DeadlineFunction | None = None
+        self._period: float | None = None
+        self._policy: QualityManagementPolicy | None = None
+        self._steps: tuple[int, ...] = tuple(DEFAULT_RELAXATION_STEPS)
+        self._require_feasible: bool = True
+        self._spec: ManagerSpec = ManagerSpec("relaxation")
+        self._machine: Any = None  # platform.Machine
+        self._overhead: Any = None  # model / parameters / preset string
+        self._seed: int = 0
+        self._default_cycles: int = 1
+        self._compile_cache: dict[tuple[int, ...], CompiledControllers] = {}
+        self._deployed: ParameterizedSystem | None = None
+
+    # ------------------------------------------------------------------ #
+    # fluent configuration (each setter validates eagerly, returns self)
+    # ------------------------------------------------------------------ #
+    def system(self, source: Any) -> "Session":
+        """Set the system: a ``ParameterizedSystem``, an ``EncoderWorkload``
+        or a named workload (``"paper"``, ``"small"``)."""
+        from repro.media.workload import EncoderWorkload
+
+        self._workload_name, self._workload, self._system = None, None, None
+        if isinstance(source, ParameterizedSystem):
+            self._system = source
+        elif isinstance(source, EncoderWorkload):
+            self._workload = source
+        elif isinstance(source, str):
+            if source not in ("paper", "small"):
+                raise SessionError(
+                    f"unknown workload name {source!r}; expected 'paper' or 'small'"
+                )
+            self._workload_name = source
+        else:
+            raise SessionError(
+                f"cannot interpret {type(source).__name__} as a system; expected a "
+                "ParameterizedSystem, an EncoderWorkload or a workload name"
+            )
+        self._invalidate()
+        return self
+
+    def workload(self, workload: Any) -> "Session":
+        """Alias of :meth:`system` for encoder workloads (reads better)."""
+        return self.system(workload)
+
+    def deadlines(
+        self,
+        deadlines: DeadlineFunction | None = None,
+        *,
+        period: float | None = None,
+    ) -> "Session":
+        """Set the deadline function, or a single end-of-cycle ``period``."""
+        if (deadlines is None) == (period is None):
+            raise SessionError("pass exactly one of a DeadlineFunction or period=<seconds>")
+        if period is not None:
+            period = float(period)
+            if period <= 0.0:
+                raise SessionError(f"deadline period must be > 0, got {period}")
+            self._deadlines, self._period = None, period
+        else:
+            if not isinstance(deadlines, DeadlineFunction):
+                raise SessionError(
+                    f"expected a DeadlineFunction, got {type(deadlines).__name__}"
+                )
+            self._deadlines, self._period = deadlines, None
+        self._invalidate()
+        return self
+
+    def policy(self, policy: QualityManagementPolicy | str) -> "Session":
+        """Set the quality-management policy (``"mixed"``/``"safe"``/``"average"``
+        or a policy instance)."""
+        if isinstance(policy, str):
+            if policy not in _POLICIES:
+                raise SessionError(
+                    f"unknown policy {policy!r}; expected one of {sorted(_POLICIES)}"
+                )
+            self._policy = _POLICIES[policy]()
+        elif isinstance(policy, QualityManagementPolicy):
+            self._policy = policy
+        else:
+            raise SessionError(f"cannot interpret {policy!r} as a policy")
+        self._invalidate()
+        return self
+
+    def relaxation_steps(self, *steps: int) -> "Session":
+        """Set the control-relaxation step set ``ρ``."""
+        if len(steps) == 1 and isinstance(steps[0], (tuple, list)):
+            steps = tuple(steps[0])
+        if not steps:
+            raise SessionError("relaxation_steps needs at least one step")
+        cleaned = tuple(sorted({int(step) for step in steps}))
+        if cleaned[0] < 1:
+            raise SessionError(f"relaxation steps must be >= 1, got {steps!r}")
+        if cleaned != self._steps:
+            self._steps = cleaned
+            self._invalidate()
+        return self
+
+    def require_feasible(self, required: bool = True) -> "Session":
+        """Whether compilation refuses infeasible systems (default true)."""
+        self._require_feasible = bool(required)
+        self._invalidate()
+        return self
+
+    def manager(self, spec: ManagerSpec | str, **params: Any) -> "Session":
+        """Select the Quality Manager by registry key/spec, with parameters."""
+        self._spec = validate_spec(ManagerSpec.coerce(spec).merged(**params))
+        return self
+
+    def machine(self, machine: Any) -> "Session":
+        """Run on a virtual platform (a ``Machine`` or ``"ipod"``/
+        ``"fast-embedded"``/``"desktop"``), charging its overhead model."""
+        from repro.platform.machine import Machine, desktop, fast_embedded, ipod_video
+
+        if isinstance(machine, str):
+            factories = {"ipod": ipod_video, "fast-embedded": fast_embedded, "desktop": desktop}
+            if machine not in factories:
+                raise SessionError(
+                    f"unknown machine {machine!r}; expected one of {sorted(factories)}"
+                )
+            machine = factories[machine]()
+        elif not isinstance(machine, Machine):
+            raise SessionError(f"cannot interpret {machine!r} as a machine")
+        self._machine = machine
+        self._deployed = None
+        return self
+
+    def overhead(self, model: Any) -> "Session":
+        """Charge a manager-overhead model without a full machine.
+
+        Accepts ``None``/``"none"`` (free management), a preset name
+        (``"ipod"``/``"fast-embedded"``/``"desktop"``), an
+        ``OverheadParameters`` instance or any object with a
+        ``charge(work)`` method.
+        """
+        from repro.platform.overhead import OverheadParameters
+
+        if model is None or model == "none":
+            self._overhead = None
+        elif isinstance(model, str):
+            if model not in _OVERHEADS:
+                raise SessionError(
+                    f"unknown overhead preset {model!r}; expected one of {sorted(_OVERHEADS)}"
+                )
+            self._overhead = model
+        elif isinstance(model, OverheadParameters) or hasattr(model, "charge"):
+            self._overhead = model
+        else:
+            raise SessionError(f"cannot interpret {model!r} as an overhead model")
+        return self
+
+    def seed(self, seed: int) -> "Session":
+        """Default random seed for named workloads and scenario draws."""
+        if int(seed) == self._seed:
+            return self
+        self._seed = int(seed)
+        if self._workload_name is not None:
+            # a named workload derives its content from the session seed —
+            # drop the resolved instance so it is rebuilt with the new seed
+            self._workload = None
+            self._invalidate()
+        return self
+
+    @property
+    def current_seed(self) -> int:
+        """The session's configured default seed."""
+        return self._seed
+
+    @property
+    def current_machine(self):
+        """The configured :class:`~repro.platform.machine.Machine`, or ``None``."""
+        return self._machine
+
+    def cycles(self, n_cycles: int) -> "Session":
+        """Default number of cycles per :meth:`run`."""
+        n_cycles = int(n_cycles)
+        if n_cycles < 1:
+            raise SessionError(f"cycles must be >= 1, got {n_cycles}")
+        self._default_cycles = n_cycles
+        return self
+
+    # ------------------------------------------------------------------ #
+    # resolution (lazy; everything heavy is cached)
+    # ------------------------------------------------------------------ #
+    def _invalidate(self) -> None:
+        # reassign rather than clear: a clone sharing this cache keeps its
+        # (still valid) entries when the other session reconfigures itself
+        self._compile_cache = {}
+        self._built_system = None
+        self._deployed = None
+
+    def clone(self) -> "Session":
+        """A configuration copy sharing this session's compilation cache.
+
+        The clone reuses the compiled tables; as soon as either session
+        changes something the tables depend on, it detaches onto a fresh
+        cache and the other session is unaffected.  Workload-built systems
+        are *not* shared: they carry a stateful frame sampler, so the clone
+        rebuilds its own (starting the video sequence from frame 0) rather
+        than advancing the caller's.  Use this to hand a configured session
+        to code that reconfigures it (e.g. the experiment runners).
+        """
+        other = copy.copy(self)
+        other._built_system = None
+        other._deployed = None
+        return other
+
+    def resolved_workload(self):
+        """The configured :class:`~repro.media.workload.EncoderWorkload`,
+        or ``None`` when the session was given a bare system."""
+        return self._resolved_workload()
+
+    def _resolved_workload(self):
+        if self._workload is not None:
+            return self._workload
+        if self._workload_name is not None:
+            from repro.media.workload import paper_encoder, small_encoder
+
+            factory = paper_encoder if self._workload_name == "paper" else small_encoder
+            self._workload = factory(seed=self._seed)
+            return self._workload
+        return None
+
+    def resolved_system(self) -> ParameterizedSystem:
+        """The configured system, building the workload's system on demand."""
+        if self._system is not None:
+            return self._system
+        workload = self._resolved_workload()
+        if workload is None:
+            raise SessionError(
+                "no system configured; call .system(...) with a ParameterizedSystem, "
+                "an EncoderWorkload or a workload name first"
+            )
+        if self._built_system is None:
+            self._built_system = workload.build_system()
+        return self._built_system
+
+    def resolved_deadlines(self) -> DeadlineFunction:
+        """The configured deadline function (derived from the workload or
+        ``period`` when not given explicitly)."""
+        if self._deadlines is not None:
+            return self._deadlines
+        if self._period is not None:
+            return DeadlineFunction.single(self.resolved_system().n_actions, self._period)
+        workload = self._resolved_workload()
+        if workload is not None:
+            return workload.deadlines()
+        raise SessionError(
+            "no deadlines configured; call .deadlines(...) or use a workload "
+            "that carries its own deadline"
+        )
+
+    def _execution_system(self) -> ParameterizedSystem:
+        """The system whose timing the executed cycles observe (deployed on
+        the machine when one is configured)."""
+        if self._machine is None:
+            return self.resolved_system()
+        if self._deployed is None:
+            self._deployed = self._machine.deploy(self.resolved_system())
+        return self._deployed
+
+    def _resolve_overhead_model(self) -> OverheadModelProtocol | None:
+        from repro.platform.overhead import (
+            DESKTOP_LIKE,
+            FAST_EMBEDDED,
+            IPOD_LIKE,
+            LinearOverheadModel,
+            OverheadParameters,
+        )
+
+        if self._machine is not None:
+            # mirror PlatformExecutor: per-call clock read is charged on top
+            params = self._machine.overhead
+            if self._machine.clock_read_overhead > 0.0:
+                params = OverheadParameters(
+                    per_call=params.per_call + self._machine.clock_read_overhead,
+                    per_arithmetic_op=params.per_arithmetic_op,
+                    per_comparison=params.per_comparison,
+                    per_table_lookup=params.per_table_lookup,
+                )
+            return LinearOverheadModel(params)
+        if self._overhead is None:
+            return None
+        if isinstance(self._overhead, str):
+            presets = {
+                "ipod": IPOD_LIKE,
+                "fast-embedded": FAST_EMBEDDED,
+                "desktop": DESKTOP_LIKE,
+            }
+            return LinearOverheadModel(presets[self._overhead])
+        if isinstance(self._overhead, OverheadParameters):
+            return LinearOverheadModel(self._overhead)
+        return self._overhead
+
+    # ------------------------------------------------------------------ #
+    # compilation (lazy + cached)
+    # ------------------------------------------------------------------ #
+    def compile(self, *, steps_override: Sequence[int] | None = None) -> CompiledControllers:
+        """Compile (or fetch from cache) the symbolic controllers.
+
+        The cache is invalidated only by setters that change what the tables
+        depend on — repeated :meth:`run` calls never recompile.
+        """
+        key = tuple(steps_override) if steps_override is not None else self._steps
+        if key not in self._compile_cache:
+            compiler = QualityManagerCompiler(
+                policy=self._policy,
+                relaxation_steps=key,
+                require_feasible=self._require_feasible,
+            )
+            self._compile_cache[key] = compiler.compile(
+                self.resolved_system(), self.resolved_deadlines()
+            )
+        return self._compile_cache[key]
+
+    def build_context(self) -> BuildContext:
+        """The registry build context bound to this session's cache."""
+        return BuildContext(
+            system=self.resolved_system(),
+            deadlines=self.resolved_deadlines(),
+            policy=self._policy,
+            relaxation_steps=self._steps,
+            compile=self.compile,
+        )
+
+    def build(self, spec: ManagerSpec | str | None = None) -> QualityManager:
+        """Instantiate the selected (or given) manager via the registry."""
+        chosen = self._spec if spec is None else validate_spec(ManagerSpec.coerce(spec))
+        return build_manager(chosen, self.build_context())
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_run_args(
+        n_cycles: int, scenarios: Sequence[ActualTimeScenario] | None
+    ) -> None:
+        if n_cycles < 1:
+            raise SessionError(f"cycles must be >= 1, got {n_cycles}")
+        if scenarios is not None and len(scenarios) != n_cycles:
+            raise SessionError(f"expected {n_cycles} scenarios, got {len(scenarios)}")
+
+    def _stream(
+        self,
+        manager: QualityManager,
+        n_cycles: int,
+        seed: int,
+        scenarios: Sequence[ActualTimeScenario] | None,
+    ) -> Iterator[CycleOutcome]:
+        system = self._execution_system()
+        overhead_model = self._resolve_overhead_model()
+        rng = np.random.default_rng(seed)
+        for cycle in range(n_cycles):
+            scenario = scenarios[cycle] if scenarios is not None else None
+            yield run_cycle(
+                system,
+                manager,
+                scenario=scenario,
+                rng=rng,
+                overhead_model=overhead_model,
+            )
+
+    def stream(
+        self,
+        cycles: int | None = None,
+        *,
+        seed: int | None = None,
+        scenarios: Sequence[ActualTimeScenario] | None = None,
+    ) -> Iterator[CycleOutcome]:
+        """Yield cycle outcomes one at a time (the streaming run layer).
+
+        Arguments are validated and the manager is built before the iterator
+        is returned — bad input fails here, not on first iteration.
+        """
+        n_cycles = self._default_cycles if cycles is None else int(cycles)
+        used_seed = self._seed if seed is None else int(seed)
+        self._check_run_args(n_cycles, scenarios)
+        return self._stream(self.build(), n_cycles, used_seed, scenarios)
+
+    def run(
+        self,
+        cycles: int | None = None,
+        *,
+        seed: int | None = None,
+        scenarios: Sequence[ActualTimeScenario] | None = None,
+    ) -> RunResult:
+        """Execute N cycles with the selected manager and collect the result."""
+        n_cycles = self._default_cycles if cycles is None else int(cycles)
+        used_seed = self._seed if seed is None else int(seed)
+        self._check_run_args(n_cycles, scenarios)  # before any compilation
+        manager = self.build()
+        outcomes = tuple(self._stream(manager, n_cycles, used_seed, scenarios))
+        return RunResult(
+            manager_key=self._spec.key,
+            manager_name=manager.name,
+            outcomes=outcomes,
+            deadlines=self.resolved_deadlines(),
+            seed=used_seed,
+            machine_name=self._machine.name if self._machine is not None else None,
+        )
+
+    def compare(
+        self,
+        *specs: ManagerSpec | str,
+        cycles: int | None = None,
+        seed: int | None = None,
+    ) -> BatchResult:
+        """Run several managers on *identical* per-cycle scenarios.
+
+        This is the paper's comparison setting (Figures 7/8): the scenarios
+        are drawn once and replayed for every manager.  Without arguments it
+        compares the three compiled managers (numeric, region, relaxation).
+        """
+        chosen = [validate_spec(ManagerSpec.coerce(spec)) for spec in specs] or [
+            ManagerSpec("numeric"),
+            ManagerSpec("region"),
+            ManagerSpec("relaxation"),
+        ]
+        n_cycles = self._default_cycles if cycles is None else int(cycles)
+        used_seed = self._seed if seed is None else seed
+        system = self._execution_system()
+        rng = np.random.default_rng(used_seed)
+        scenarios = [system.draw_scenario(rng) for _ in range(n_cycles)]
+        deadlines = self.resolved_deadlines()
+        context = self.build_context()
+
+        overhead_model = self._resolve_overhead_model()
+        runs: dict[str, RunResult] = {}
+        for index, spec in enumerate(chosen):
+            manager = build_manager(spec, context)
+            outcomes = tuple(
+                run_cycle(
+                    system,
+                    manager,
+                    scenario=scenario,
+                    overhead_model=overhead_model,
+                )
+                for scenario in scenarios
+            )
+            label = manager.name
+            if label in runs:
+                label = f"{label}-{index}"
+            runs[label] = RunResult(
+                manager_key=spec.key,
+                manager_name=manager.name,
+                outcomes=outcomes,
+                deadlines=deadlines,
+                seed=used_seed,
+                machine_name=self._machine.name if self._machine is not None else None,
+            )
+        return BatchResult(runs=runs)
+
+    def run_many(
+        self,
+        scenarios: Iterable[ScenarioSpec | dict | str | int | ManagerSpec],
+    ) -> BatchResult:
+        """Run a batch of scenario specs and collect every result.
+
+        Entries may be :class:`ScenarioSpec` objects, dicts with the same
+        fields, plain ints (seeds), or manager keys/specs.  Each scenario
+        falls back to the session's manager, cycle count and seed; results
+        are deterministic for fixed seeds.
+        """
+        coerced: list[ScenarioSpec] = []
+        for entry in scenarios:
+            if isinstance(entry, ScenarioSpec):
+                coerced.append(entry)
+            elif isinstance(entry, dict):
+                unknown = set(entry) - {"label", "manager", "cycles", "seed"}
+                if unknown:
+                    raise SessionError(f"unknown scenario field(s) {sorted(unknown)}")
+                coerced.append(ScenarioSpec(**entry))
+            elif isinstance(entry, bool):
+                raise SessionError(f"cannot interpret {entry!r} as a scenario")
+            elif isinstance(entry, int):
+                coerced.append(ScenarioSpec(seed=entry))
+            elif isinstance(entry, (str, ManagerSpec)):
+                coerced.append(ScenarioSpec(manager=ManagerSpec.coerce(entry)))
+            else:
+                raise SessionError(f"cannot interpret {entry!r} as a scenario")
+        # validate every manager spec before running anything
+        for spec in coerced:
+            if spec.manager is not None:
+                validate_spec(ManagerSpec.coerce(spec.manager))
+            if spec.cycles is not None and int(spec.cycles) < 1:
+                raise SessionError(f"scenario cycles must be >= 1, got {spec.cycles}")
+
+        context = self.build_context()
+        system = self._execution_system()
+        deadlines = self.resolved_deadlines()
+        overhead_model = self._resolve_overhead_model()
+        runs: dict[str, RunResult] = {}
+        for index, spec in enumerate(coerced):
+            manager_spec = (
+                validate_spec(ManagerSpec.coerce(spec.manager))
+                if spec.manager is not None
+                else self._spec
+            )
+            manager = build_manager(manager_spec, context)
+            n_cycles = self._default_cycles if spec.cycles is None else int(spec.cycles)
+            used_seed = self._seed if spec.seed is None else int(spec.seed)
+            rng = np.random.default_rng(used_seed)
+            outcomes = tuple(
+                run_cycle(system, manager, rng=rng, overhead_model=overhead_model)
+                for _ in range(n_cycles)
+            )
+            label = spec.resolved_label(index)
+            if label in runs:
+                label = f"{label}-{index}"
+            runs[label] = RunResult(
+                manager_key=manager_spec.key,
+                manager_name=manager.name,
+                outcomes=outcomes,
+                deadlines=deadlines,
+                seed=used_seed,
+                machine_name=self._machine.name if self._machine is not None else None,
+            )
+        return BatchResult(runs=runs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        source = (
+            self._workload_name
+            or (type(self._workload).__name__ if self._workload is not None else None)
+            or ("ParameterizedSystem" if self._system is not None else "unset")
+        )
+        return (
+            f"Session(system={source}, manager={self._spec}, "
+            f"machine={self._machine.name if self._machine else None}, seed={self._seed})"
+        )

@@ -1,0 +1,87 @@
+"""Deprecation shims for the pre-facade call patterns.
+
+Before ``repro.api`` existed, every consumer hand-wired the same dance:
+``build_encoder_system`` → ``DeadlineFunction`` → ``QualityManagerCompiler``
+→ pick a manager → ``run_cycle``, and each baseline had its own ad-hoc
+constructor signature.  The primitives all still exist and are still public
+(``repro.core`` / ``repro.baselines`` are unchanged); these wrappers cover
+the composed patterns so old call sites keep working with a single import
+swap while emitting a :class:`DeprecationWarning` pointing at the facade.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.compiler import CompiledControllers, QualityManagerCompiler
+from repro.core.controller import OverheadModelProtocol, run_cycle
+from repro.core.deadlines import DeadlineFunction
+from repro.core.manager import QualityManager
+from repro.core.policy import QualityManagementPolicy
+from repro.core.relaxation import DEFAULT_RELAXATION_STEPS
+from repro.core.system import CycleOutcome, ParameterizedSystem
+
+from .registry import BuildContext, build_manager
+
+__all__ = ["compile_controllers", "build_baseline", "run_controlled"]
+
+
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def compile_controllers(
+    system: ParameterizedSystem,
+    deadlines: DeadlineFunction,
+    *,
+    policy: QualityManagementPolicy | None = None,
+    relaxation_steps: Sequence[int] = DEFAULT_RELAXATION_STEPS,
+    require_feasible: bool = True,
+) -> CompiledControllers:
+    """Deprecated: the old compile step.  Use ``Session().system(...).compile()``."""
+    _warn("repro.api.compile_controllers", "repro.api.Session (compile() is cached)")
+    compiler = QualityManagerCompiler(
+        policy=policy,
+        relaxation_steps=relaxation_steps,
+        require_feasible=require_feasible,
+    )
+    return compiler.compile(system, deadlines)
+
+
+def build_baseline(
+    name: str,
+    system: ParameterizedSystem,
+    deadlines: DeadlineFunction,
+    **params: Any,
+) -> QualityManager:
+    """Deprecated: ad-hoc baseline construction.  Use the manager registry."""
+    _warn("repro.api.build_baseline", "repro.api.build_manager / Session.manager(key)")
+    context = BuildContext.create(system, deadlines)
+    return build_manager(name, context, **params)
+
+
+def run_controlled(
+    system: ParameterizedSystem,
+    deadlines: DeadlineFunction,
+    manager: QualityManager,
+    *,
+    n_cycles: int = 1,
+    seed: int = 0,
+    overhead_model: OverheadModelProtocol | None = None,
+) -> list[CycleOutcome]:
+    """Deprecated: the old hand-rolled multi-cycle loop.  Use ``Session.run``."""
+    _warn("repro.api.run_controlled", "repro.api.Session.run / Session.stream")
+    if n_cycles < 1:
+        raise ValueError(f"n_cycles must be >= 1, got {n_cycles}")
+    rng = np.random.default_rng(seed)
+    return [
+        run_cycle(system, manager, rng=rng, overhead_model=overhead_model)
+        for _ in range(n_cycles)
+    ]

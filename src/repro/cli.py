@@ -1,11 +1,14 @@
 """Command-line interface.
 
 ``python -m repro <command>`` exposes the main workflows without writing any
-code:
+code; every command is driven through the :mod:`repro.api` facade:
 
 * ``info`` — the paper's experimental setup and the reference numbers;
-* ``compare`` — compile the three Quality Managers for an encoder workload,
-  run them on identical scenarios and print the overhead / quality tables;
+* ``managers`` — the registry table of available Quality Manager keys;
+* ``run`` — run one manager (any registry spec) for N cycles and print its
+  metrics;
+* ``compare`` — run several managers on identical scenarios and print the
+  overhead / quality tables;
 * ``experiments`` — run the full experiment suite (all tables and figures);
 * ``diagram`` — print the speed diagram of one controlled cycle.
 """
@@ -16,6 +19,8 @@ import argparse
 from typing import Sequence
 
 __all__ = ["main", "build_parser"]
+
+_DEFAULT_COMPARE = "numeric,region,relaxation"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,6 +33,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("info", help="print the paper's setup and reference numbers")
 
+    commands.add_parser("managers", help="list the registered Quality Manager keys")
+
+    run = commands.add_parser("run", help="run one manager and print its metrics")
+    run.add_argument(
+        "--manager",
+        default="relaxation",
+        help="registry spec, e.g. 'relaxation' or 'constant:level=3' (see 'managers')",
+    )
+    run.add_argument("--cycles", type=int, default=6, help="number of cycles to run")
+    run.add_argument("--seed", type=int, default=0, help="random seed")
+    run.add_argument(
+        "--small", action="store_true", help="use the QCIF workload instead of the paper's CIF"
+    )
+
     compare = commands.add_parser(
         "compare", help="compare the numeric and symbolic managers on the encoder workload"
     )
@@ -35,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0, help="random seed")
     compare.add_argument(
         "--small", action="store_true", help="use the QCIF workload instead of the paper's CIF"
+    )
+    compare.add_argument(
+        "--managers",
+        default=_DEFAULT_COMPARE,
+        help="comma-separated registry specs to compare (see 'managers')",
     )
 
     experiments = commands.add_parser(
@@ -73,27 +97,70 @@ def _run_info() -> int:
     return 0
 
 
-def _run_compare(frames: int, seed: int, small: bool) -> int:
-    from repro.analysis import compute_metrics, memory_report, metrics_report, sparkline
-    from repro.core import QualityManagerCompiler
-    from repro.media import paper_encoder, small_encoder
-    from repro.platform import PlatformExecutor, ipod_video
+def _run_managers() -> int:
+    from repro.analysis import format_table
+    from repro.api import registry_table
 
-    workload = small_encoder(seed=seed, n_frames=frames) if small else paper_encoder(seed=seed)
-    system = workload.build_system()
-    deadlines = workload.deadlines()
-    controllers = QualityManagerCompiler().compile(system, deadlines)
-    print(memory_report(controllers.report))
-    print()
-    executor = PlatformExecutor(ipod_video())
-    results = executor.compare(system, deadlines, controllers.managers(), n_cycles=frames, seed=seed)
-    metrics = {
-        name: compute_metrics(result.outcomes, deadlines) for name, result in results.items()
-    }
-    print(metrics_report(metrics))
+    rows = registry_table()
+    print(
+        format_table(
+            ["key", "parameters", "description"],
+            rows,
+            title="Registered Quality Managers (repro.api)",
+        )
+    )
+    print("\nusage: python -m repro run --manager <key>[:param=value,...]")
+    return 0
+
+
+def _session(seed: int, small: bool, n_frames: int):
+    from repro.api import Session
+    from repro.media import paper_encoder, small_encoder
+
+    # the QCIF workload generates exactly the requested frame sequence; the
+    # paper workload is always the full 29-frame CIF sequence (of which the
+    # first n_frames cycles are run), matching the pre-facade CLI
+    workload = (
+        small_encoder(seed=seed, n_frames=n_frames) if small else paper_encoder(seed=seed)
+    )
+    return Session().system(workload).machine("ipod").seed(seed)
+
+
+def _run_run(manager: str, cycles: int, seed: int, small: bool) -> int:
+    from repro.analysis import sparkline
+
+    try:
+        session = _session(seed, small, cycles).manager(manager)
+        result = session.run(cycles=cycles)
+    except ValueError as error:  # RegistryError/SessionError/bad manager params
+        print(f"error: {error}")
+        return 2
+    print(result.render())
+    series = result.mean_quality_per_cycle
+    print("\naverage quality per cycle:")
+    print(f"  {result.manager_name:11s} {sparkline(series, width=40)}  mean {series.mean():.2f}")
+    print("\nquality histogram (level: actions):")
+    for level, count in sorted(result.quality_histogram.items()):
+        print(f"  {level}: {count}")
+    return 0
+
+
+def _run_compare(frames: int, seed: int, small: bool, managers: str = _DEFAULT_COMPARE) -> int:
+    from repro.analysis import memory_report, metrics_report, sparkline
+
+    specs = [spec.strip() for spec in managers.split(",") if spec.strip()]
+    try:
+        session = _session(seed, small, frames)
+        print(memory_report(session.compile().report))
+        print()
+        batch = session.compare(*specs, cycles=frames, seed=seed)
+    except ValueError as error:  # RegistryError/SessionError/bad manager params
+        print(f"error: {error}")
+        return 2
+    print(metrics_report(batch.metrics))
     print("\naverage quality per frame:")
-    for name, result in results.items():
-        series = result.mean_quality_per_cycle
+    for name, run in batch.runs.items():
+        series = run.mean_quality_per_cycle
         print(f"  {name:11s} {sparkline(series, width=40)}  mean {series.mean():.2f}")
     return 0
 
@@ -107,17 +174,15 @@ def _run_experiments(fast: bool, seed: int) -> int:
 
 def _run_diagram(seed: int) -> int:
     from repro.analysis import render_speed_diagram
-    from repro.core import QualityManagerCompiler, SpeedDiagram, run_cycle
-    from repro.media import small_encoder
+    from repro.api import Session
+    from repro.core import SpeedDiagram
 
-    import numpy as np
-
-    workload = small_encoder(seed=seed)
-    system = workload.build_system()
-    deadlines = workload.deadlines()
-    controllers = QualityManagerCompiler().compile(system, deadlines)
-    diagram = SpeedDiagram(system, deadlines, td_table=controllers.td_table)
-    outcome = run_cycle(system, controllers.relaxation, rng=np.random.default_rng(seed))
+    session = Session().system("small").seed(seed).manager("relaxation")
+    controllers = session.compile()
+    diagram = SpeedDiagram(
+        session.resolved_system(), session.resolved_deadlines(), td_table=controllers.td_table
+    )
+    outcome = next(session.stream(1))
     print(render_speed_diagram(diagram, outcome, qualities_to_show=[0, 3, 6]))
     return 0
 
@@ -127,8 +192,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     arguments = build_parser().parse_args(argv)
     if arguments.command == "info":
         return _run_info()
+    if arguments.command == "managers":
+        return _run_managers()
+    if arguments.command == "run":
+        return _run_run(arguments.manager, arguments.cycles, arguments.seed, arguments.small)
     if arguments.command == "compare":
-        return _run_compare(arguments.frames, arguments.seed, arguments.small)
+        return _run_compare(arguments.frames, arguments.seed, arguments.small, arguments.managers)
     if arguments.command == "experiments":
         return _run_experiments(arguments.fast, arguments.seed)
     if arguments.command == "diagram":

@@ -19,10 +19,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.reports import quality_series_report
-from repro.core.compiler import QualityManagerCompiler
-from repro.media.workload import EncoderWorkload, paper_encoder
-from repro.platform.executor import PlatformExecutor, RunResult
-from repro.platform.machine import Machine, ipod_video
+from repro.api.results import RunResult
+from repro.api.session import Session
+from repro.media.workload import EncoderWorkload
+from repro.platform.machine import Machine
+
+from .facade import resolve_facade_session
 
 __all__ = ["Fig7Result", "run_fig7_experiment"]
 
@@ -68,15 +70,19 @@ def run_fig7_experiment(
     *,
     n_frames: int | None = None,
     machine: Machine | None = None,
-    seed: int = 0,
+    seed: int | None = None,
+    session: Session | None = None,
 ) -> Fig7Result:
-    """Run the three managers over the frame sequence and collect per-frame quality."""
-    wl = workload if workload is not None else paper_encoder(seed=seed)
-    frames = n_frames if n_frames is not None else wl.n_frames
-    system = wl.build_system()
-    deadlines = wl.deadlines()
-    compiled = QualityManagerCompiler().compile(system, deadlines)
-    executor = PlatformExecutor(machine if machine is not None else ipod_video())
-    runs = executor.compare(system, deadlines, compiled.managers(), n_cycles=frames, seed=seed)
-    series = {name: run.mean_quality_per_cycle for name, run in runs.items()}
-    return Fig7Result(series=series, runs=runs)
+    """Run the three managers over the frame sequence and collect per-frame quality.
+
+    Driven through the :mod:`repro.api` facade; passing a ``session`` shares
+    its compilation cache with other experiments on the same workload (see
+    :func:`repro.experiments.facade.resolve_facade_session` for the
+    inheritance rules).
+    """
+    session, machine, used_seed, frames = resolve_facade_session(
+        workload, session, machine, seed, n_frames
+    )
+    batch = session.compare(cycles=frames, seed=used_seed)
+    series = {name: run.mean_quality_per_cycle for name, run in batch.runs.items()}
+    return Fig7Result(series=series, runs=dict(batch.runs))

@@ -14,14 +14,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.metrics import QualityMetrics, compute_metrics
+from repro.analysis.metrics import QualityMetrics
 from repro.analysis.reports import overhead_report
-from repro.core.compiler import QualityManagerCompiler
-from repro.media.workload import EncoderWorkload, paper_encoder
-from repro.platform.executor import PlatformExecutor
-from repro.platform.machine import Machine, ipod_video
+from repro.api.session import Session
+from repro.media.workload import EncoderWorkload
+from repro.platform.machine import Machine
 
 from .config import PAPER_REFERENCE
+from .facade import resolve_facade_session
 
 __all__ = ["OverheadExperimentResult", "run_overhead_experiment"]
 
@@ -72,25 +72,24 @@ def run_overhead_experiment(
     *,
     n_frames: int | None = None,
     machine: Machine | None = None,
-    seed: int = 0,
+    seed: int | None = None,
+    session: Session | None = None,
 ) -> OverheadExperimentResult:
-    """Run the three managers on identical scenarios and measure their overhead."""
-    wl = workload if workload is not None else paper_encoder(seed=seed)
-    frames = n_frames if n_frames is not None else wl.n_frames
-    system = wl.build_system()
-    deadlines = wl.deadlines()
-    compiled = QualityManagerCompiler(relaxation_steps=(1, 10, 20, 30, 40, 50)).compile(
-        system, deadlines
+    """Run the three managers on identical scenarios and measure their overhead.
+
+    Driven through the :mod:`repro.api` facade; passing a ``session`` shares
+    its compilation cache with other experiments on the same workload (see
+    :func:`repro.experiments.facade.resolve_facade_session` for the
+    inheritance rules).
+    """
+    session, machine, used_seed, frames = resolve_facade_session(
+        workload, session, machine, seed, n_frames
     )
-    executor = PlatformExecutor(machine if machine is not None else ipod_video())
-    results = executor.compare(
-        system, deadlines, compiled.managers(), n_cycles=frames, seed=seed
+    batch = session.relaxation_steps(1, 10, 20, 30, 40, 50).compare(
+        cycles=frames, seed=used_seed
     )
-    metrics = {
-        name: compute_metrics(result.outcomes, deadlines) for name, result in results.items()
-    }
     return OverheadExperimentResult(
-        metrics=metrics,
+        metrics=dict(batch.metrics),
         n_frames=frames,
-        machine_name=executor.machine.name,
+        machine_name=machine.name,
     )

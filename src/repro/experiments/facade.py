@@ -1,0 +1,53 @@
+"""Shared facade-session resolution for the experiment runners.
+
+Both E2 (overhead) and E3 (Figure 7) accept the same quartet of optional
+arguments — ``workload``, ``session``, ``machine``, ``seed`` — with the same
+inheritance rules.  This helper resolves them in one place:
+
+* a passed ``session`` is cloned so the caller's configuration and frame
+  sampler are never touched, while its compilation cache stays shared;
+* an explicit ``workload`` always wins over the session's system;
+* unset ``machine``/``seed`` inherit the session's configuration, falling
+  back to the iPod platform and seed 0.
+"""
+
+from __future__ import annotations
+
+from repro.api.session import Session
+from repro.media.workload import EncoderWorkload, paper_encoder
+from repro.platform.machine import Machine, ipod_video
+
+__all__ = ["resolve_facade_session"]
+
+
+def resolve_facade_session(
+    workload: EncoderWorkload | None,
+    session: Session | None,
+    machine: Machine | None,
+    seed: int | None,
+    n_frames: int | None,
+) -> tuple[Session, Machine, int, int]:
+    """Resolve experiment arguments to ``(session, machine, seed, frames)``."""
+    if session is None:
+        used_seed = 0 if seed is None else int(seed)
+        wl = workload if workload is not None else paper_encoder(seed=used_seed)
+        session = Session().system(wl)
+    else:
+        used_seed = session.current_seed if seed is None else int(seed)
+        # clone: reconfiguring must not clobber the caller's session (the
+        # clone still shares the caller's compilation cache)
+        session = session.clone()
+        if workload is not None:
+            wl = workload
+            session = session.system(wl)  # an explicit workload always wins
+        else:
+            wl = session.resolved_workload()
+    if machine is None:
+        machine = session.current_machine if session.current_machine is not None else ipod_video()
+    if n_frames is not None:
+        frames = int(n_frames)
+    elif wl is not None:
+        frames = wl.n_frames
+    else:
+        raise ValueError("pass n_frames when the session holds a bare system")
+    return session.machine(machine).seed(used_seed), machine, used_seed, frames

@@ -11,6 +11,7 @@ from __future__ import annotations
 import argparse
 from dataclasses import dataclass
 
+from repro.api.session import Session
 from repro.media.workload import EncoderWorkload, paper_encoder, small_encoder
 
 from .exp_diagrams import DiagramExperimentResult, run_diagram_experiment
@@ -73,8 +74,11 @@ def run_all_experiments(
     # E1 only compiles tables (no cycle execution), so it always runs at paper
     # scale — the integer counts are the whole point of the comparison.
     memory = run_memory_experiment(paper_encoder(seed=seed), seed=seed)
-    overhead = run_overhead_experiment(wl, n_frames=n_frames, seed=seed)
-    fig7 = run_fig7_experiment(wl, n_frames=n_frames, seed=seed)
+    # E2 and E3 share one facade session: the symbolic tables are compiled
+    # once and reused from the session's cache across both experiments.
+    session = Session().system(wl).seed(seed)
+    overhead = run_overhead_experiment(wl, n_frames=n_frames, seed=seed, session=session)
+    fig7 = run_fig7_experiment(wl, n_frames=n_frames, seed=seed, session=session)
     fig8 = run_fig8_experiment(wl, seed=seed)
     diagrams = run_diagram_experiment(small_encoder(seed=seed) if not fast else wl, seed=seed)
     return ExperimentSuiteResult(

@@ -1,0 +1,437 @@
+"""Tests for the :mod:`repro.api` facade: registry, session, batched runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from helpers import make_deadline, make_synthetic_system
+
+import repro
+from repro.api import (
+    BatchResult,
+    BuildContext,
+    ManagerSpec,
+    RegistryError,
+    ScenarioSpec,
+    Session,
+    SessionError,
+    available_managers,
+    build_baseline,
+    build_manager,
+    compile_controllers,
+    manager_info,
+    register_manager,
+    registry_table,
+    run_controlled,
+    unregister_manager,
+    validate_spec,
+)
+from repro.core import CycleOutcome, DeadlineFunction, QualityManager, audit_trace
+
+EXPECTED_KEYS = {
+    "numeric",
+    "region",
+    "relaxation",
+    "constant",
+    "elastic",
+    "feedback",
+    "skip",
+    "safe-only",
+    "average-only",
+}
+
+
+@pytest.fixture(scope="module")
+def system():
+    return make_synthetic_system()
+
+
+@pytest.fixture(scope="module")
+def deadlines(system):
+    return make_deadline(system)
+
+
+@pytest.fixture(scope="module")
+def context(system, deadlines):
+    return BuildContext.create(system, deadlines)
+
+
+class TestRegistry:
+    def test_all_expected_keys_registered(self):
+        assert EXPECTED_KEYS <= set(available_managers())
+
+    def test_every_key_builds_a_working_manager(self, system, deadlines, context):
+        """Registry round-trip: every key produces a manager that runs a cycle."""
+        for key in available_managers():
+            manager = build_manager(key, context)
+            assert isinstance(manager, QualityManager)
+            outcome = next(
+                Session().system(system).deadlines(deadlines).manager(key).stream(1)
+            )
+            assert isinstance(outcome, CycleOutcome)
+            assert outcome.n_actions == system.n_actions
+
+    def test_aliases_resolve_to_canonical_entry(self):
+        assert manager_info("safe_only").key == "safe-only"
+        assert manager_info("average_only").key == "average-only"
+
+    def test_unknown_key_raises_with_known_keys_listed(self, context):
+        with pytest.raises(RegistryError, match="relaxation"):
+            build_manager("frobnicate", context)
+
+    def test_unknown_param_rejected_eagerly(self):
+        with pytest.raises(RegistryError, match="does not accept"):
+            validate_spec(ManagerSpec("constant", {"levle": 3}))
+
+    def test_spec_string_round_trip(self):
+        spec = ManagerSpec.parse("constant:level=3,consult_every_action=false")
+        assert spec.key == "constant"
+        assert spec.params == {"level": 3, "consult_every_action": False}
+        assert ManagerSpec.parse(str(spec)) == spec
+
+    def test_spec_scientific_notation_stays_a_float(self):
+        spec = ManagerSpec.parse("feedback:kp=1.5e+2,ki=-2e+0")
+        assert spec.params == {"kp": 150.0, "ki": -2.0}
+
+    def test_spec_parse_rejects_malformed_params(self):
+        with pytest.raises(RegistryError, match="malformed"):
+            ManagerSpec.parse("constant:level")
+        with pytest.raises(RegistryError, match="empty"):
+            ManagerSpec.parse(":level=3")
+
+    def test_constant_param_reaches_the_manager(self, context):
+        manager = build_manager("constant:level=4", context)
+        assert manager.level == 4
+
+    def test_relaxation_steps_param_changes_the_table(self, context):
+        manager = build_manager("relaxation", context, steps=(1, 2))
+        assert manager.relaxation.steps == (1, 2)
+
+    def test_relaxation_steps_via_spec_string(self, context):
+        """The spec-string sequence syntax reaches the relaxation table."""
+        manager = build_manager("relaxation:steps=1+2+4", context)
+        assert manager.relaxation.steps == (1, 2, 4)
+        scalar = build_manager("relaxation:steps=2", context)
+        assert scalar.relaxation.steps == (2,)
+        with pytest.raises(RegistryError, match="positive integers"):
+            build_manager("relaxation:steps=0", context)
+        with pytest.raises(RegistryError, match="integers"):
+            build_manager("relaxation:steps=fast", context)
+        spec = ManagerSpec("relaxation", {"steps": (1, 2, 4)})
+        assert ManagerSpec.parse(str(spec)) == spec
+
+    def test_register_and_unregister_custom_manager(self, system, deadlines):
+        @register_manager("test-custom", description="a test double")
+        def _build(context, *, level=0):
+            from repro.baselines import ConstantQualityManager
+
+            return ConstantQualityManager(context.system.qualities, level)
+
+        try:
+            assert "test-custom" in available_managers()
+            manager = build_manager(
+                "test-custom", BuildContext.create(system, deadlines), level=1
+            )
+            assert manager.level == 1
+            with pytest.raises(RegistryError, match="already registered"):
+                register_manager("test-custom")(_build)
+        finally:
+            unregister_manager("test-custom")
+        assert "test-custom" not in available_managers()
+
+    def test_registry_table_covers_all_keys(self):
+        keys = {row[0] for row in registry_table()}
+        assert EXPECTED_KEYS <= keys
+
+
+class TestSessionValidation:
+    def test_run_without_system_raises(self):
+        with pytest.raises(SessionError, match="no system configured"):
+            Session().run()
+
+    def test_system_without_deadlines_raises(self, system):
+        with pytest.raises(SessionError, match="no deadlines"):
+            Session().system(system).run()
+
+    def test_unknown_workload_name(self):
+        with pytest.raises(SessionError, match="unknown workload"):
+            Session().system("hdtv")
+
+    def test_unknown_manager_key_fails_at_builder_time(self):
+        with pytest.raises(RegistryError):
+            Session().manager("frobnicate")
+
+    def test_unknown_manager_param_fails_at_builder_time(self):
+        with pytest.raises(RegistryError, match="does not accept"):
+            Session().manager("skip", window=3)
+
+    def test_unknown_policy(self):
+        with pytest.raises(SessionError, match="unknown policy"):
+            Session().policy("pessimistic")
+
+    def test_bad_deadline_period(self):
+        with pytest.raises(SessionError, match="> 0"):
+            Session().deadlines(period=-1.0)
+
+    def test_deadlines_needs_exactly_one_argument(self, deadlines):
+        with pytest.raises(SessionError, match="exactly one"):
+            Session().deadlines(deadlines, period=3.0)
+        with pytest.raises(SessionError, match="exactly one"):
+            Session().deadlines()
+
+    def test_bad_relaxation_steps(self):
+        with pytest.raises(SessionError, match=">= 1"):
+            Session().relaxation_steps(0, 5)
+
+    def test_bad_machine_and_overhead_names(self):
+        with pytest.raises(SessionError, match="unknown machine"):
+            Session().machine("cray")
+        with pytest.raises(SessionError, match="unknown overhead"):
+            Session().overhead("cray")
+
+    def test_bad_cycle_counts(self, system, deadlines):
+        with pytest.raises(SessionError, match=">= 1"):
+            Session().cycles(0)
+        with pytest.raises(SessionError, match=">= 1"):
+            Session().system(system).deadlines(deadlines).run(cycles=0)
+
+
+class TestSessionCompileCaching:
+    def test_repeated_runs_reuse_the_compilation(self, system, deadlines):
+        session = Session().system(system).deadlines(deadlines)
+        first = session.compile()
+        session.run(cycles=2)
+        session.manager("numeric").run(cycles=1)
+        assert session.compile() is first
+
+    def test_policy_change_invalidates(self, system, deadlines):
+        session = Session().system(system).deadlines(deadlines)
+        first = session.compile()
+        session.policy("safe")
+        assert session.compile() is not first
+
+    def test_deadline_change_invalidates(self, system, deadlines):
+        session = Session().system(system).deadlines(deadlines)
+        first = session.compile()
+        session.deadlines(period=deadlines.final_deadline * 1.5)
+        assert session.compile() is not first
+
+    def test_same_relaxation_steps_do_not_invalidate(self, system, deadlines):
+        session = Session().system(system).deadlines(deadlines)
+        first = session.compile()
+        session.relaxation_steps(*first.report.relaxation_steps)
+        assert session.compile() is first
+
+    def test_step_override_is_cached_separately(self, system, deadlines):
+        session = Session().system(system).deadlines(deadlines)
+        a = session.compile(steps_override=(1, 2))
+        b = session.compile(steps_override=(1, 2))
+        assert a is b
+        assert a is not session.compile()
+
+    def test_clone_shares_cache_until_it_diverges(self, system, deadlines):
+        session = Session().system(system).deadlines(deadlines)
+        first = session.compile()
+        clone = session.clone()
+        assert clone.compile() is first
+        # the clone reconfigures: it detaches, the original keeps its cache
+        clone.policy("safe")
+        assert clone.compile() is not first
+        assert session.compile() is first
+
+    def test_clone_does_not_advance_the_callers_frame_sampler(self):
+        """A clone rebuilds workload systems: its runs must not consume the
+        caller's (stateful) video sequence, and vice versa."""
+        session = Session().system("small").seed(0)
+        baseline = session.run(cycles=1).outcomes[0]
+        fresh = Session().system("small").seed(0)
+        fresh.clone().run(cycles=3)  # must not touch fresh's sampler
+        replay = fresh.run(cycles=1).outcomes[0]
+        np.testing.assert_array_equal(baseline.qualities, replay.qualities)
+
+    def test_seed_change_rebuilds_named_workload(self):
+        session = Session().system("small").seed(0)
+        first = session.compile()
+        session.seed(1)
+        assert session.compile() is not first
+        # setting the same seed again must NOT invalidate
+        second = session.compile()
+        session.seed(1)
+        assert session.compile() is second
+
+
+class TestRunLayer:
+    def test_run_collects_outcomes_and_metrics(self, system, deadlines):
+        result = (
+            Session().system(system).deadlines(deadlines).manager("relaxation").run(cycles=3)
+        )
+        assert result.n_cycles == 3
+        assert result.manager_key == "relaxation"
+        assert result.metrics.n_cycles == 3
+        assert sum(result.quality_histogram.values()) == 3 * system.n_actions
+        assert result.mean_quality_per_cycle.shape == (3,)
+        assert "relaxation" in result.render()
+
+    def test_stream_validates_before_iteration(self, system, deadlines):
+        session = Session().system(system).deadlines(deadlines)
+        with pytest.raises(SessionError, match=">= 1"):
+            session.stream(0)  # fails here, not at first next()
+        with pytest.raises(SessionError, match="scenarios"):
+            session.stream(2, scenarios=[])
+
+    def test_stream_is_lazy_and_matches_run(self, system, deadlines):
+        session = Session().system(system).deadlines(deadlines).seed(7)
+        iterator = session.stream(2)
+        outcomes = list(iterator)
+        assert len(outcomes) == 2
+        result = session.run(cycles=2, seed=7)
+        for streamed, collected in zip(outcomes, result.outcomes):
+            np.testing.assert_array_equal(streamed.qualities, collected.qualities)
+
+    def test_run_determinism_under_fixed_seed(self, system, deadlines):
+        def once():
+            return Session().system(system).deadlines(deadlines).seed(11).run(cycles=3)
+
+        a, b = once(), once()
+        for left, right in zip(a.outcomes, b.outcomes):
+            np.testing.assert_array_equal(left.qualities, right.qualities)
+            np.testing.assert_array_equal(left.durations, right.durations)
+
+    def test_compare_uses_identical_scenarios(self, system, deadlines):
+        batch = Session().system(system).deadlines(deadlines).compare(cycles=2, seed=5)
+        assert batch.labels == ("numeric", "region", "relaxation")
+        durations = {
+            label: np.concatenate([o.durations for o in run.outcomes])
+            for label, run in batch.runs.items()
+        }
+        # identical inputs: all three managers saw scenarios drawn once; the
+        # numeric and region managers make identical choices, so durations match
+        np.testing.assert_array_equal(durations["numeric"], durations["region"])
+
+    def test_compare_matches_platform_executor(self):
+        """The facade reproduces the pre-facade executor numbers bit-exactly."""
+        from repro.analysis import compute_metrics
+        from repro.core import QualityManagerCompiler
+        from repro.media import small_encoder
+        from repro.platform import PlatformExecutor, ipod_video
+
+        workload = small_encoder(seed=0, n_frames=2)
+        system = workload.build_system()
+        deadlines = workload.deadlines()
+        compiled = QualityManagerCompiler().compile(system, deadlines)
+        old = PlatformExecutor(ipod_video()).compare(
+            system, deadlines, compiled.managers(), n_cycles=2, seed=1
+        )
+        new = Session().system(workload).machine("ipod").compare(cycles=2, seed=1)
+        for name in ("numeric", "region", "relaxation"):
+            assert compute_metrics(old[name].outcomes, deadlines) == new[name].metrics
+
+    def test_run_many_determinism_and_labels(self, system, deadlines):
+        def sweep():
+            session = Session().system(system).deadlines(deadlines).manager("region")
+            return session.run_many(
+                [
+                    1,
+                    2,
+                    "skip",
+                    ScenarioSpec(label="late", manager="constant:level=4", seed=3),
+                    {"label": "short", "cycles": 1, "seed": 4},
+                ]
+            )
+
+        a, b = sweep(), sweep()
+        assert a.labels == ("seed=1", "seed=2", "skip", "late", "short")
+        assert a.total_cycles == b.total_cycles == 5
+        for label in a.labels:
+            for left, right in zip(a[label].outcomes, b[label].outcomes):
+                np.testing.assert_array_equal(left.qualities, right.qualities)
+        assert a["late"].manager_key == "constant"
+        assert a["short"].n_cycles == 1
+
+    def test_run_many_fresh_session_deterministic_on_encoder_workload(self):
+        """Encoder samplers are stateful (frame cursor), but a fresh session
+        under a fixed seed always replays the same sequence."""
+
+        def sweep():
+            return Session().system("small").seed(0).manager("region").run_many([5, 6])
+
+        a, b = sweep(), sweep()
+        for label in a.labels:
+            for left, right in zip(a[label].outcomes, b[label].outcomes):
+                np.testing.assert_array_equal(left.qualities, right.qualities)
+
+    def test_run_many_validates_before_running(self, system, deadlines):
+        session = Session().system(system).deadlines(deadlines)
+        with pytest.raises(RegistryError):
+            session.run_many(["region", "frobnicate"])
+        with pytest.raises(SessionError, match="scenario"):
+            session.run_many([{"label": "x", "frames": 2}])
+
+    def test_batch_result_aggregates(self, system, deadlines):
+        batch = Session().system(system).deadlines(deadlines).compare(cycles=2)
+        assert isinstance(batch, BatchResult)
+        assert batch.total_cycles == 6
+        assert set(batch.deadline_misses) == set(batch.labels)
+        assert set(batch.quality_histograms()) == set(batch.labels)
+        assert "numeric" in batch.render()
+
+    def test_overhead_model_charged_without_machine(self, system, deadlines):
+        free = Session().system(system).deadlines(deadlines).run(cycles=1)
+        charged = (
+            Session().system(system).deadlines(deadlines).overhead("ipod").run(cycles=1)
+        )
+        assert free.total_overhead_seconds == 0.0
+        assert charged.total_overhead_seconds > 0.0
+
+    def test_run_outcomes_stay_safe(self, system, deadlines):
+        result = Session().system(system).deadlines(deadlines).seed(2).run(cycles=4)
+        for outcome in result.outcomes:
+            assert audit_trace(outcome, deadlines).is_safe
+        assert result.all_deadlines_met
+
+
+class TestLazyPackageSurface:
+    def test_lazy_submodules_importable(self):
+        for name in ("api", "media", "platform", "baselines", "analysis", "extensions"):
+            module = getattr(repro, name)
+            assert module.__name__ == f"repro.{name}"
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.frobnicate
+
+    def test_dir_lists_submodules(self):
+        listed = dir(repro)
+        assert "api" in listed and "media" in listed
+
+
+class TestDeprecationShims:
+    def test_compile_controllers_warns_and_works(self, system, deadlines):
+        with pytest.warns(DeprecationWarning, match="Session"):
+            controllers = compile_controllers(system, deadlines)
+        assert controllers.numeric.name == "numeric"
+
+    def test_build_baseline_warns_and_uses_registry(self, system, deadlines):
+        with pytest.warns(DeprecationWarning, match="build_manager"):
+            manager = build_baseline("skip", system, deadlines, skip_window=4)
+        assert manager.name == "skip"
+
+    def test_run_controlled_warns_and_matches_session(self, system, deadlines):
+        session = Session().system(system).deadlines(deadlines).manager("region").seed(9)
+        manager = session.build()
+        with pytest.warns(DeprecationWarning, match="Session.run"):
+            outcomes = run_controlled(system, deadlines, manager, n_cycles=2, seed=9)
+        result = session.run(cycles=2, seed=9)
+        for old, new in zip(outcomes, result.outcomes):
+            np.testing.assert_array_equal(old.qualities, new.qualities)
+
+
+class TestDeadlinePeriod:
+    def test_period_builds_single_deadline(self, system):
+        budget = system.worst_case.total(1, system.n_actions, 0) * 1.4
+        session = Session().system(system).deadlines(period=budget)
+        resolved = session.resolved_deadlines()
+        assert isinstance(resolved, DeadlineFunction)
+        assert resolved.final_deadline == pytest.approx(budget)
+        assert session.run(cycles=1).n_cycles == 1

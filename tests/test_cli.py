@@ -27,6 +27,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.manager == "relaxation"
+        assert args.cycles == 6
+        assert args.small is False
+
+    def test_compare_accepts_manager_list(self):
+        args = build_parser().parse_args(["compare", "--managers", "numeric,skip"])
+        assert args.managers == "numeric,skip"
+
 
 class TestCommands:
     def test_info_prints_paper_numbers(self, capsys):
@@ -45,3 +55,28 @@ class TestCommands:
         assert main(["diagram"]) == 0
         output = capsys.readouterr().out
         assert "virtual time" in output
+
+    def test_managers_lists_registry_keys(self, capsys):
+        assert main(["managers"]) == 0
+        output = capsys.readouterr().out
+        for key in ("numeric", "region", "relaxation", "constant", "skip", "feedback"):
+            assert key in output
+
+    def test_run_with_manager_spec(self, capsys):
+        assert main(["run", "--manager", "constant:level=2", "--small", "--cycles", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "constant" in output
+        assert "quality histogram" in output
+
+    def test_run_rejects_unknown_manager(self, capsys):
+        assert main(["run", "--manager", "frobnicate", "--small"]) == 2
+        assert "unknown manager key" in capsys.readouterr().out
+
+    def test_compare_with_baseline_manager(self, capsys):
+        assert main(["compare", "--small", "--frames", "2", "--managers", "numeric,skip"]) == 0
+        output = capsys.readouterr().out
+        assert "numeric" in output and "skip" in output
+
+    def test_compare_rejects_unknown_manager(self, capsys):
+        assert main(["compare", "--small", "--frames", "2", "--managers", "bogus"]) == 2
+        assert "unknown manager key" in capsys.readouterr().out

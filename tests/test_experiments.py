@@ -145,3 +145,70 @@ class TestRunner:
         assert suite.overhead.ordering_matches_paper
         assert suite.fig7.symbolic_dominates_numeric()
         assert suite.diagrams.proposition1_holds
+
+
+class TestFacadeSessionSharing:
+    def test_experiments_do_not_clobber_a_shared_session(self, fast_workload):
+        """Passing a session must not mutate the caller's configuration."""
+        from repro.api import Session
+
+        session = Session().system(fast_workload).relaxation_steps(1, 2, 4).seed(0)
+        before = session.compile()
+        result = run_overhead_experiment(session=session, n_frames=2, seed=1)
+        assert set(result.metrics) == {"numeric", "region", "relaxation"}
+        # the caller's step set and cached compilation survive
+        assert session.compile() is before
+        assert before.report.relaxation_steps == (1, 2, 4)
+
+    def test_session_without_n_frames_uses_the_workload_length(self, fast_workload):
+        from repro.api import Session
+
+        session = Session().system(fast_workload).seed(0)
+        result = run_fig7_experiment(session=session, seed=0)
+        assert result.n_frames == fast_workload.n_frames
+
+    def test_matches_workload_path(self, fast_workload):
+        """Facade session path reproduces the plain-workload path exactly."""
+        from repro.api import Session
+
+        direct = run_fig7_experiment(fast_workload, n_frames=2, seed=3)
+        shared = run_fig7_experiment(
+            session=Session().system(fast_workload), n_frames=2, seed=3
+        )
+        for name in direct.series:
+            np.testing.assert_array_equal(direct.series[name], shared.series[name])
+
+    def test_session_machine_and_seed_are_inherited(self, fast_workload):
+        """A passed session's machine/seed win when the args are unset."""
+        from repro.api import Session
+        from repro.platform import desktop
+
+        session = Session().system(fast_workload).machine(desktop()).seed(7)
+        inherited = run_overhead_experiment(session=session, n_frames=2)
+        assert inherited.machine_name == "desktop"
+        explicit = run_overhead_experiment(fast_workload, n_frames=2, machine=desktop(), seed=7)
+        assert inherited.overhead_percentages == explicit.overhead_percentages
+
+    def test_session_runs_do_not_shift_the_experiment_frames(self, fast_workload):
+        """Pre-experiment runs on the caller's session must not advance the
+        frames the experiment sees."""
+        from repro.api import Session
+
+        canonical = run_fig7_experiment(fast_workload, n_frames=2, seed=0)
+        session = Session().system(fast_workload).seed(0)
+        session.run(cycles=2)  # advances only the caller's own sampler
+        shifted = run_fig7_experiment(session=session, n_frames=2, seed=0)
+        for name in canonical.series:
+            np.testing.assert_array_equal(canonical.series[name], shifted.series[name])
+
+    def test_explicit_workload_wins_over_the_sessions_system(self, fast_workload):
+        """Passing both workload and session runs the workload's system."""
+        from repro.api import Session
+
+        other = small_encoder(seed=5, n_frames=3)
+        via_session = run_fig7_experiment(
+            fast_workload, session=Session().system(other), n_frames=2, seed=0
+        )
+        direct = run_fig7_experiment(fast_workload, n_frames=2, seed=0)
+        for name in direct.series:
+            np.testing.assert_array_equal(direct.series[name], via_session.series[name])
