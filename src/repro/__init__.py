@@ -22,6 +22,8 @@ The library provides:
 * :mod:`repro.experiments` — one module per table/figure of the paper.
 * :mod:`repro.extensions` — the paper's future-work directions (power
   management, multi-task control, linear region approximation).
+* :mod:`repro.runtime` — the scaling layer: a persistent compiled-controller
+  artifact cache and a process-based parallel sweep engine.
 
 Quick start::
 
@@ -57,6 +59,7 @@ _SUBMODULES = (
     "extensions",
     "media",
     "platform",
+    "runtime",
 )
 
 __all__ = [*_SUBMODULES, "__version__"]

@@ -9,7 +9,7 @@ from .reports import (
     overhead_report,
     quality_series_report,
 )
-from .sweep import SweepPoint, run_sweep, sweep_table
+from .sweep import SweepPoint, grid_specs, run_session_sweep, run_sweep, sweep_table
 
 __all__ = [
     "QualityMetrics",
@@ -28,4 +28,6 @@ __all__ = [
     "SweepPoint",
     "run_sweep",
     "sweep_table",
+    "grid_specs",
+    "run_session_sweep",
 ]

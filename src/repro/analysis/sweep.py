@@ -4,14 +4,21 @@ A small harness for the ablation studies: sweep one parameter (relaxation
 step set, worst-case margin, deadline tightness, number of quality levels,
 platform speed...), run the same evaluation on each point and collect the
 records into a list of flat dictionaries ready for tabulation.
+
+Grid sweeps over sessions — the manager × seed cross-products of the scaling
+studies — go through :func:`grid_specs` / :func:`run_session_sweep`, which
+feed :meth:`repro.api.Session.run_many` and therefore inherit its parallel
+sweep engine (:mod:`repro.runtime`): pass ``parallel=True`` (or configure the
+session's ``.parallel(...)`` builder step) and the grid shards across worker
+processes with bit-identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
-__all__ = ["SweepPoint", "run_sweep", "sweep_table"]
+__all__ = ["SweepPoint", "run_sweep", "sweep_table", "grid_specs", "run_session_sweep"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +51,69 @@ def run_sweep(
     for value in values:
         record = evaluate(value)
         points.append(SweepPoint(parameter=parameter, value=value, record=dict(record)))
+    return points
+
+
+def grid_specs(
+    *,
+    managers: Sequence[object] | None = None,
+    seeds: Sequence[int] | None = None,
+    cycles: int | None = None,
+) -> list[dict]:
+    """The manager × seed cross-product as ``Session.run_many`` scenario dicts.
+
+    Every combination gets a stable ``"<manager>@seed<seed>"`` label (or just
+    the manager / seed half when the other axis is absent).  Use
+    :func:`repro.runtime.plan.spawn_seeds` to derive well-separated seed
+    lists from one base seed.
+    """
+    manager_axis: list[object | None] = list(managers) if managers else [None]
+    seed_axis: list[int | None] = [int(seed) for seed in seeds] if seeds else [None]
+    if not manager_axis or not seed_axis:
+        return []
+    specs: list[dict] = []
+    for manager in manager_axis:
+        for seed in seed_axis:
+            parts = []
+            if manager is not None:
+                parts.append(str(manager))
+            if seed is not None:
+                parts.append(f"seed{seed}")
+            spec: dict = {"label": "@".join(parts) or None}
+            if manager is not None:
+                spec["manager"] = manager
+            if seed is not None:
+                spec["seed"] = seed
+            if cycles is not None:
+                spec["cycles"] = int(cycles)
+            specs.append(spec)
+    return specs
+
+
+def run_session_sweep(
+    session: Any,
+    specs: Iterable[object],
+    *,
+    parallel: bool | None = None,
+    workers: int | None = None,
+    progress: Callable[[int, int, str], None] | None = None,
+) -> list[SweepPoint]:
+    """Run scenario specs through a session and tabulate per-run metrics.
+
+    A thin adapter from the facade's :class:`~repro.api.results.BatchResult`
+    to the sweep-point records the report tables consume.  ``parallel`` /
+    ``workers`` / ``progress`` pass straight through to
+    :meth:`~repro.api.session.Session.run_many` (and thus to the
+    :mod:`repro.runtime` sweep engine).
+    """
+    batch = session.run_many(
+        specs, parallel=parallel, workers=workers, progress=progress
+    )
+    points: list[SweepPoint] = []
+    for label, run in batch.runs.items():
+        record: dict[str, object] = {"manager": run.manager_key, "seed": run.seed}
+        record.update(run.metrics.as_row())
+        points.append(SweepPoint(parameter="scenario", value=label, record=record))
     return points
 
 

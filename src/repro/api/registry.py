@@ -210,6 +210,10 @@ class ManagerEntry:
     description: str
     aliases: tuple[str, ...]
     params: Mapping[str, Any]  # accepted parameter names -> defaults
+    #: whether the factory consumes ``context.compiled(...)`` — lets callers
+    #: (the parallel sweep engine) pre-warm the compiled-artifact cache once
+    #: instead of having every worker race through the same compilation
+    needs_compiled: bool = False
 
     def describe_params(self) -> str:
         """Human-readable ``name=default`` list for tables and error messages."""
@@ -242,13 +246,15 @@ def register_manager(
     description: str = "",
     aliases: Sequence[str] = (),
     replace: bool = False,
+    needs_compiled: bool = False,
 ):
     """Register a manager factory under a string key (usable as a decorator).
 
     The factory is called as ``factory(context, **params)`` and must return a
-    :class:`~repro.core.manager.QualityManager`.  Raises
-    :class:`RegistryError` when the key (or an alias) is already taken,
-    unless ``replace=True``.
+    :class:`~repro.core.manager.QualityManager`.  Pass ``needs_compiled=True``
+    when the factory calls ``context.compiled(...)`` so batch runners can
+    pre-warm the compilation.  Raises :class:`RegistryError` when the key (or
+    an alias) is already taken, unless ``replace=True``.
     """
 
     def _register(fn: Callable[..., QualityManager]) -> Callable[..., QualityManager]:
@@ -263,6 +269,7 @@ def register_manager(
             description=description or (doc.splitlines()[0] if doc else ""),
             aliases=tuple(aliases),
             params=_introspect_params(fn),
+            needs_compiled=needs_compiled,
         )
         _REGISTRY[key] = entry
         for alias in aliases:
@@ -344,32 +351,48 @@ def build_manager(
 # --------------------------------------------------------------------------- #
 
 
-@register_manager("numeric", description="on-line numeric manager (paper §2.2.1)")
+@register_manager(
+    "numeric",
+    description="on-line numeric manager (paper §2.2.1)",
+    needs_compiled=True,
+)
 def _build_numeric(context: BuildContext) -> QualityManager:
     return context.compiled().numeric
 
 
-@register_manager("region", description="symbolic manager on quality regions (paper §3.2)")
+@register_manager(
+    "region",
+    description="symbolic manager on quality regions (paper §3.2)",
+    needs_compiled=True,
+)
 def _build_region(context: BuildContext) -> QualityManager:
     return context.compiled().region
 
 
+def _coerced_steps(steps: Sequence[int] | int | None) -> tuple[int, ...] | None:
+    """Normalise a relaxation step-set parameter (``None``/scalar/sequence)."""
+    if steps is None:
+        return None
+    if isinstance(steps, int):  # scalar from a spec string: one step value
+        steps = (steps,)
+    try:
+        cleaned = tuple(int(step) for step in steps)
+    except (TypeError, ValueError):
+        raise RegistryError(
+            f"relaxation steps must be integers (e.g. steps=1+10+20), got {steps!r}"
+        ) from None
+    if not cleaned or any(step < 1 for step in cleaned):
+        raise RegistryError(f"relaxation steps must be positive integers, got {steps!r}")
+    return cleaned
+
+
 @register_manager(
-    "relaxation", description="symbolic manager with control relaxation (paper §3.3)"
+    "relaxation",
+    description="symbolic manager with control relaxation (paper §3.3)",
+    needs_compiled=True,
 )
 def _build_relaxation(context: BuildContext, *, steps: Sequence[int] | int | None = None):
-    if steps is not None:
-        if isinstance(steps, int):  # scalar from a spec string: one step value
-            steps = (steps,)
-        try:
-            steps = tuple(int(step) for step in steps)
-        except (TypeError, ValueError):
-            raise RegistryError(
-                f"relaxation steps must be integers (e.g. steps=1+10+20), got {steps!r}"
-            ) from None
-        if not steps or any(step < 1 for step in steps):
-            raise RegistryError(f"relaxation steps must be positive integers, got {steps!r}")
-    return context.compiled(steps=steps).relaxation
+    return context.compiled(steps=_coerced_steps(steps)).relaxation
 
 
 @register_manager(
@@ -458,4 +481,104 @@ def _build_skip(
         context.deadlines,
         nominal_level=nominal_level,
         skip_window=int(skip_window),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# extension registrations: the paper's future-work directions (conclusion)
+# --------------------------------------------------------------------------- #
+
+
+@register_manager(
+    "dvfs",
+    description="DVFS power manager: lowest safe frequency via relaxation tables",
+    needs_compiled=True,
+)
+def _build_dvfs(
+    context: BuildContext,
+    *,
+    frequencies: Sequence[float] | float | None = None,
+    dynamic_exponent: float = 3.0,
+    static_power: float = 0.05,
+    reference_power: float = 0.8,
+    steps: Sequence[int] | int | None = None,
+):
+    """Best used on systems built by :func:`repro.extensions.power.build_dvfs_system`.
+
+    ``frequencies`` (Hz, ascending; spec-string syntax ``100e6+300e6+600e6``)
+    must provide one step per quality level of the context's system; the
+    default is a linear ladder up to 600 MHz.
+    """
+    from repro.extensions.power import DvfsQualityManager, FrequencyScale
+
+    n_levels = len(context.system.qualities)
+    if frequencies is None:
+        frequencies = tuple(600e6 * (index + 1) / n_levels for index in range(n_levels))
+    elif isinstance(frequencies, (int, float)):
+        frequencies = (float(frequencies),)
+    try:
+        scale = FrequencyScale(
+            frequencies=tuple(float(value) for value in frequencies),
+            dynamic_exponent=float(dynamic_exponent),
+            static_power=float(static_power),
+            reference_power=float(reference_power),
+        )
+    except (TypeError, ValueError) as error:
+        raise RegistryError(f"invalid dvfs frequency scale: {error}") from None
+    if scale.n_levels != n_levels:
+        raise RegistryError(
+            f"dvfs needs one frequency per quality level: got {scale.n_levels} "
+            f"frequencies for {n_levels} levels"
+        )
+    inner = context.compiled(steps=_coerced_steps(steps)).relaxation
+    return DvfsQualityManager(inner, scale)
+
+
+@register_manager(
+    "multitask",
+    description="composed controller for multi-task hyper-cycles (per-task deadlines)",
+    needs_compiled=True,
+)
+def _build_multitask(
+    context: BuildContext,
+    *,
+    composed: Any = None,  # repro.extensions.multitask.ComposedTaskSet
+    steps: Sequence[int] | int | None = None,
+):
+    """Best used on systems built by :func:`repro.extensions.multitask.compose_tasks`;
+    pass the resulting ``ComposedTaskSet`` as ``composed`` (code-built specs
+    only) to enable per-task quality reporting."""
+    from repro.extensions.multitask import ComposedTaskSet, MultitaskQualityManager
+
+    if composed is not None and not isinstance(composed, ComposedTaskSet):
+        raise RegistryError(
+            f"composed must be a ComposedTaskSet, got {type(composed).__name__}"
+        )
+    inner = context.compiled(steps=_coerced_steps(steps)).relaxation
+    try:
+        return MultitaskQualityManager(inner, composed)
+    except ValueError as error:
+        raise RegistryError(str(error)) from None
+
+
+@register_manager(
+    "linear-approx",
+    aliases=("linear_approx", "linear-relaxation"),
+    description="relaxation manager on conservative affine-approximated tables",
+    needs_compiled=True,
+)
+def _build_linear_approx(
+    context: BuildContext,
+    *,
+    steps: Sequence[int] | int | None = None,
+):
+    from repro.extensions.linear_approx import (
+        LinearRelaxationQualityManager,
+        LinearRelaxationTable,
+    )
+
+    relaxation_manager = context.compiled(steps=_coerced_steps(steps)).relaxation
+    return LinearRelaxationQualityManager(
+        relaxation_manager.regions,
+        LinearRelaxationTable(relaxation_manager.relaxation),
     )

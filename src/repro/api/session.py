@@ -30,6 +30,18 @@ Design contract (the three facade guarantees):
   :meth:`Session.run_many` sweeps scenario specs; :meth:`Session.stream`
   yields :class:`~repro.core.system.CycleOutcome` objects one at a time.
 
+Two optional :mod:`repro.runtime` integrations scale the run layer beyond one
+process:
+
+* :meth:`Session.artifacts` plugs in the persistent compiled-controller
+  cache, so a fresh process with a warm cache skips symbolic compilation
+  entirely (``$REPRO_CACHE_DIR`` overrides the location);
+* :meth:`Session.parallel` (or ``run_many(..., parallel=True)`` /
+  ``compare(..., parallel=True)``) shards sweeps across worker processes that
+  hydrate their managers from that cache.  The serial path stays the default
+  and the behavioural baseline — parallel results are bit-identical to serial
+  for fixed seeds.
+
 Determinism: with a fixed seed, a freshly-configured session always produces
 the same results.  Note that systems built from encoder workloads carry a
 *stateful* frame sampler (each scenario draw advances through the synthetic
@@ -43,6 +55,7 @@ explicit ``scenarios=[...]`` for bitwise-identical repeats.
 from __future__ import annotations
 
 import copy
+import os
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Sequence
 
@@ -57,14 +70,57 @@ from repro.core.relaxation import DEFAULT_RELAXATION_STEPS
 from repro.core.system import CycleOutcome, ParameterizedSystem
 from repro.core.timing import ActualTimeScenario
 
-from .registry import BuildContext, ManagerSpec, build_manager, validate_spec
+from .registry import BuildContext, ManagerSpec, build_manager, manager_info, validate_spec
 from .results import BatchResult, RunResult
 
-__all__ = ["Session", "SessionError", "ScenarioSpec"]
+__all__ = ["Session", "SessionError", "ScenarioSpec", "resolve_overhead_model"]
 
 
 class SessionError(ValueError):
     """Invalid or incomplete session configuration."""
+
+
+def resolve_overhead_model(machine: Any, overhead: Any) -> OverheadModelProtocol | None:
+    """The overhead model a (machine, raw overhead setting) pair implies.
+
+    This is the single resolution rule shared by the session's serial run
+    layer and the :mod:`repro.runtime.pool` workers (which receive the raw
+    setting and resolve it process-side): a machine's parameters win, with
+    the per-call clock read charged on top; otherwise the setting may be
+    ``None`` (free management), a preset name, an ``OverheadParameters`` or
+    any object with a ``charge(work)`` method.
+    """
+    from repro.platform.overhead import (
+        DESKTOP_LIKE,
+        FAST_EMBEDDED,
+        IPOD_LIKE,
+        LinearOverheadModel,
+        OverheadParameters,
+    )
+
+    if machine is not None:
+        # mirror PlatformExecutor: per-call clock read is charged on top
+        params = machine.overhead
+        if machine.clock_read_overhead > 0.0:
+            params = OverheadParameters(
+                per_call=params.per_call + machine.clock_read_overhead,
+                per_arithmetic_op=params.per_arithmetic_op,
+                per_comparison=params.per_comparison,
+                per_table_lookup=params.per_table_lookup,
+            )
+        return LinearOverheadModel(params)
+    if overhead is None:
+        return None
+    if isinstance(overhead, str):
+        presets = {
+            "ipod": IPOD_LIKE,
+            "fast-embedded": FAST_EMBEDDED,
+            "desktop": DESKTOP_LIKE,
+        }
+        return LinearOverheadModel(presets[overhead])
+    if isinstance(overhead, OverheadParameters):
+        return LinearOverheadModel(overhead)
+    return overhead
 
 
 _POLICIES: dict[str, type[QualityManagementPolicy]] = {
@@ -124,6 +180,9 @@ class Session:
         self._default_cycles: int = 1
         self._compile_cache: dict[tuple[int, ...], CompiledControllers] = {}
         self._deployed: ParameterizedSystem | None = None
+        self._artifacts: Any = None  # runtime.CompiledArtifactCache | None
+        self._artifacts_disabled: bool = False  # explicit .artifacts(False)
+        self._parallel: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------ #
     # fluent configuration (each setter validates eagerly, returns self)
@@ -292,6 +351,71 @@ class Session:
         self._default_cycles = n_cycles
         return self
 
+    def artifacts(self, cache: Any = True) -> "Session":
+        """Enable the persistent compiled-controller cache for this session.
+
+        ``cache`` may be ``True`` (default location: ``$REPRO_CACHE_DIR``,
+        else ``~/.cache/repro/compiled``), a directory path, an existing
+        :class:`~repro.runtime.artifacts.CompiledArtifactCache`, or
+        ``False``/``None`` to disable.  With a warm cache, :meth:`compile`
+        in a fresh process hydrates the symbolic tables from disk instead of
+        recompiling them.
+
+        An explicit ``False``/``None`` also opts the *parallel* run layer out
+        of its default cache: pool workers then compile locally instead of
+        touching the disk.
+        """
+        from repro.runtime.artifacts import CompiledArtifactCache
+
+        if cache is None or cache is False:
+            self._artifacts = None
+            self._artifacts_disabled = True
+            return self
+        self._artifacts_disabled = False
+        if cache is True:
+            self._artifacts = CompiledArtifactCache()
+        elif isinstance(cache, CompiledArtifactCache):
+            self._artifacts = cache
+        elif isinstance(cache, (str, os.PathLike)):
+            self._artifacts = CompiledArtifactCache(cache)
+        else:
+            raise SessionError(f"cannot interpret {cache!r} as an artifact cache")
+        return self
+
+    @property
+    def artifact_cache(self):
+        """The configured :class:`~repro.runtime.artifacts.CompiledArtifactCache`,
+        or ``None``."""
+        return self._artifacts
+
+    def parallel(
+        self,
+        workers: int | None = None,
+        *,
+        chunk_size: int | None = None,
+        mp_context: str | None = None,
+        enabled: bool = True,
+    ) -> "Session":
+        """Make :meth:`run_many` and :meth:`compare` default to the sweep pool.
+
+        ``workers`` defaults to the CPU count.  Parallel results are
+        bit-identical to the serial path for fixed seeds; call
+        ``.parallel(enabled=False)`` to return to the serial default.  See
+        :class:`~repro.runtime.pool.SweepExecutor` for ``chunk_size`` and
+        ``mp_context``.
+        """
+        if not enabled:
+            self._parallel = None
+            return self
+        if workers is not None and int(workers) < 1:
+            raise SessionError(f"workers must be >= 1, got {workers}")
+        self._parallel = {
+            "workers": int(workers) if workers is not None else None,
+            "chunk_size": chunk_size,
+            "mp_context": mp_context,
+        }
+        return self
+
     # ------------------------------------------------------------------ #
     # resolution (lazy; everything heavy is cached)
     # ------------------------------------------------------------------ #
@@ -373,37 +497,7 @@ class Session:
         return self._deployed
 
     def _resolve_overhead_model(self) -> OverheadModelProtocol | None:
-        from repro.platform.overhead import (
-            DESKTOP_LIKE,
-            FAST_EMBEDDED,
-            IPOD_LIKE,
-            LinearOverheadModel,
-            OverheadParameters,
-        )
-
-        if self._machine is not None:
-            # mirror PlatformExecutor: per-call clock read is charged on top
-            params = self._machine.overhead
-            if self._machine.clock_read_overhead > 0.0:
-                params = OverheadParameters(
-                    per_call=params.per_call + self._machine.clock_read_overhead,
-                    per_arithmetic_op=params.per_arithmetic_op,
-                    per_comparison=params.per_comparison,
-                    per_table_lookup=params.per_table_lookup,
-                )
-            return LinearOverheadModel(params)
-        if self._overhead is None:
-            return None
-        if isinstance(self._overhead, str):
-            presets = {
-                "ipod": IPOD_LIKE,
-                "fast-embedded": FAST_EMBEDDED,
-                "desktop": DESKTOP_LIKE,
-            }
-            return LinearOverheadModel(presets[self._overhead])
-        if isinstance(self._overhead, OverheadParameters):
-            return LinearOverheadModel(self._overhead)
-        return self._overhead
+        return resolve_overhead_model(self._machine, self._overhead)
 
     # ------------------------------------------------------------------ #
     # compilation (lazy + cached)
@@ -416,14 +510,24 @@ class Session:
         """
         key = tuple(steps_override) if steps_override is not None else self._steps
         if key not in self._compile_cache:
-            compiler = QualityManagerCompiler(
-                policy=self._policy,
-                relaxation_steps=key,
-                require_feasible=self._require_feasible,
-            )
-            self._compile_cache[key] = compiler.compile(
-                self.resolved_system(), self.resolved_deadlines()
-            )
+            if self._artifacts is not None:
+                compiled, _ = self._artifacts.fetch_or_compile(
+                    self.resolved_system(),
+                    self.resolved_deadlines(),
+                    policy=self._policy,
+                    relaxation_steps=key,
+                    require_feasible=self._require_feasible,
+                )
+                self._compile_cache[key] = compiled
+            else:
+                compiler = QualityManagerCompiler(
+                    policy=self._policy,
+                    relaxation_steps=key,
+                    require_feasible=self._require_feasible,
+                )
+                self._compile_cache[key] = compiler.compile(
+                    self.resolved_system(), self.resolved_deadlines()
+                )
         return self._compile_cache[key]
 
     def build_context(self) -> BuildContext:
@@ -517,13 +621,26 @@ class Session:
         *specs: ManagerSpec | str,
         cycles: int | None = None,
         seed: int | None = None,
+        parallel: bool | None = None,
+        workers: int | None = None,
+        progress: Any = None,
     ) -> BatchResult:
         """Run several managers on *identical* per-cycle scenarios.
 
         This is the paper's comparison setting (Figures 7/8): the scenarios
         are drawn once and replayed for every manager.  Without arguments it
         compares the three compiled managers (numeric, region, relaxation).
+
+        ``parallel=True`` (or a configured :meth:`parallel` builder step, or
+        an explicit ``workers`` count) runs one manager per pool work unit —
+        the scenarios are still drawn serially here, so results are
+        bit-identical to the serial path.  ``progress`` is called as
+        ``progress(done, total, spec)`` after each completed manager, where
+        ``spec`` is the manager spec string (the *result* labels are the
+        managers' reporting names, de-duplicated).
         """
+        from repro.runtime.plan import unique_label
+
         chosen = [validate_spec(ManagerSpec.coerce(spec)) for spec in specs] or [
             ManagerSpec("numeric"),
             ManagerSpec("region"),
@@ -535,8 +652,15 @@ class Session:
         rng = np.random.default_rng(used_seed)
         scenarios = [system.draw_scenario(rng) for _ in range(n_cycles)]
         deadlines = self.resolved_deadlines()
-        context = self.build_context()
+        machine_name = self._machine.name if self._machine is not None else None
 
+        pool_config = self._pool_config(parallel, workers)
+        if pool_config is not None and scenarios:
+            return self._compare_parallel(
+                chosen, scenarios, used_seed, pool_config, progress
+            )
+
+        context = self.build_context()
         overhead_model = self._resolve_overhead_model()
         runs: dict[str, RunResult] = {}
         for index, spec in enumerate(chosen):
@@ -550,22 +674,28 @@ class Session:
                 )
                 for scenario in scenarios
             )
-            label = manager.name
-            if label in runs:
-                label = f"{label}-{index}"
+            label = unique_label(runs, manager.name, index)
             runs[label] = RunResult(
                 manager_key=spec.key,
                 manager_name=manager.name,
                 outcomes=outcomes,
                 deadlines=deadlines,
                 seed=used_seed,
-                machine_name=self._machine.name if self._machine is not None else None,
+                machine_name=machine_name,
             )
+            if progress is not None:
+                # the spec string, exactly what the parallel path reports
+                # (final labels need the executed managers' names)
+                progress(index + 1, len(chosen), str(spec))
         return BatchResult(runs=runs)
 
     def run_many(
         self,
         scenarios: Iterable[ScenarioSpec | dict | str | int | ManagerSpec],
+        *,
+        parallel: bool | None = None,
+        workers: int | None = None,
+        progress: Any = None,
     ) -> BatchResult:
         """Run a batch of scenario specs and collect every result.
 
@@ -573,7 +703,23 @@ class Session:
         fields, plain ints (seeds), or manager keys/specs.  Each scenario
         falls back to the session's manager, cycle count and seed; results
         are deterministic for fixed seeds.
+
+        ``parallel=True`` (or a configured :meth:`parallel` builder step, or
+        an explicit ``workers`` count) shards the scenarios across worker
+        processes via :class:`~repro.runtime.pool.SweepExecutor`; for fixed
+        seeds the results are bit-identical to the serial path.  That
+        guarantee covers every built-in system source: stateless samplers,
+        systems without a sampler, and the encoder workloads' stateful
+        :class:`~repro.media.timing_model.FrameScenarioSampler` (whose
+        ``seek``/``cursor`` interface lets workers replay the serial frame
+        order).  A *custom stateful* sampler must expose the same
+        ``seek``/``cursor`` pair to keep the guarantee — without it, units
+        sharing a worker see the sampler state in scheduling order.
+        ``progress`` is called as ``progress(done, total, label)`` after each
+        scenario.
         """
+        from repro.runtime.plan import unique_label
+
         coerced: list[ScenarioSpec] = []
         for entry in scenarios:
             if isinstance(entry, ScenarioSpec):
@@ -598,35 +744,228 @@ class Session:
             if spec.cycles is not None and int(spec.cycles) < 1:
                 raise SessionError(f"scenario cycles must be >= 1, got {spec.cycles}")
 
-        context = self.build_context()
-        system = self._execution_system()
-        deadlines = self.resolved_deadlines()
-        overhead_model = self._resolve_overhead_model()
-        runs: dict[str, RunResult] = {}
+        # resolve every unit up front: (label, manager spec, cycles, seed)
+        entries: list[tuple[str, ManagerSpec, int, int]] = []
         for index, spec in enumerate(coerced):
             manager_spec = (
                 validate_spec(ManagerSpec.coerce(spec.manager))
                 if spec.manager is not None
                 else self._spec
             )
-            manager = build_manager(manager_spec, context)
             n_cycles = self._default_cycles if spec.cycles is None else int(spec.cycles)
             used_seed = self._seed if spec.seed is None else int(spec.seed)
+            entries.append((spec.resolved_label(index), manager_spec, n_cycles, used_seed))
+
+        pool_config = self._pool_config(parallel, workers)
+        if pool_config is not None and entries:
+            return self._run_many_parallel(entries, pool_config, progress)
+
+        context = self.build_context()
+        system = self._execution_system()
+        deadlines = self.resolved_deadlines()
+        overhead_model = self._resolve_overhead_model()
+        machine_name = self._machine.name if self._machine is not None else None
+        runs: dict[str, RunResult] = {}
+        for index, (label, manager_spec, n_cycles, used_seed) in enumerate(entries):
+            manager = build_manager(manager_spec, context)
             rng = np.random.default_rng(used_seed)
             outcomes = tuple(
                 run_cycle(system, manager, rng=rng, overhead_model=overhead_model)
                 for _ in range(n_cycles)
             )
-            label = spec.resolved_label(index)
-            if label in runs:
-                label = f"{label}-{index}"
-            runs[label] = RunResult(
+            final_label = unique_label(runs, label, index)
+            runs[final_label] = RunResult(
                 manager_key=manager_spec.key,
                 manager_name=manager.name,
                 outcomes=outcomes,
                 deadlines=deadlines,
                 seed=used_seed,
-                machine_name=self._machine.name if self._machine is not None else None,
+                machine_name=machine_name,
+            )
+            if progress is not None:
+                progress(index + 1, len(entries), final_label)
+        return BatchResult(runs=runs)
+
+    # ------------------------------------------------------------------ #
+    # the parallel sweep engine (repro.runtime)
+    # ------------------------------------------------------------------ #
+    def _pool_config(
+        self, parallel: bool | None, workers: int | None
+    ) -> dict[str, Any] | None:
+        """The pool configuration a run should use, or ``None`` for serial.
+
+        Explicit ``parallel=False`` always wins; ``parallel=True`` or a
+        ``workers`` count always selects the pool; otherwise the builder's
+        :meth:`parallel` configuration decides.
+        """
+        if parallel is False:
+            return None
+        if parallel is None and workers is None and self._parallel is None:
+            return None
+        config = dict(
+            self._parallel
+            if self._parallel is not None
+            else {"workers": None, "chunk_size": None, "mp_context": None}
+        )
+        if workers is not None:
+            if int(workers) < 1:
+                raise SessionError(f"workers must be >= 1, got {workers}")
+            config["workers"] = int(workers)
+        return config
+
+    def _parallel_artifact_cache(self):
+        """The artifact cache pool workers hydrate from, or ``None``.
+
+        The session's configured cache when present, else one at the default
+        location (``$REPRO_CACHE_DIR`` / ``~/.cache/repro/compiled``) — the
+        pool is the one place a persistent cache is on by default, because
+        every worker would otherwise recompile the same tables.  An explicit
+        ``.artifacts(False)`` opts out: workers compile locally.
+        """
+        if self._artifacts is not None:
+            return self._artifacts
+        if self._artifacts_disabled:
+            return None
+        from repro.runtime.artifacts import CompiledArtifactCache
+
+        return CompiledArtifactCache()
+
+    def _prepare_parallel_cache(self, cache: Any, specs: Sequence[ManagerSpec]) -> None:
+        """Warm the artifact cache once in the parent, so workers only hydrate.
+
+        Persists tables this session already compiled; when any unit's
+        manager consumes compiled tables (registry ``needs_compiled``) and
+        nothing is compiled yet, compiles the default-steps artifact here —
+        one compilation instead of one per worker racing on a cold cache.  A
+        sweep of pure baselines never triggers a compilation (its workers
+        would not either).
+        """
+        if cache is None:
+            return
+        from repro.runtime.artifacts import compile_key
+
+        key = compile_key(
+            self.resolved_system(),
+            self.resolved_deadlines(),
+            policy=self._policy,
+            relaxation_steps=self._steps,
+        )
+        if key is None:
+            return  # uncacheable policy: workers compile locally
+        compiled = self._compile_cache.get(self._steps)
+        if compiled is None:
+            if not any(manager_info(spec.key).needs_compiled for spec in specs):
+                return
+            # fetch_or_compile persists on miss, so workers always hydrate
+            compiled, _ = cache.fetch_or_compile(
+                self.resolved_system(),
+                self.resolved_deadlines(),
+                policy=self._policy,
+                relaxation_steps=self._steps,
+                require_feasible=self._require_feasible,
+            )
+            self._compile_cache[self._steps] = compiled
+            return
+        if not cache.path_for(key).is_file():
+            try:
+                cache.store(key, compiled)
+            except OSError:  # pragma: no cover - read-only cache location
+                pass
+
+    def _execution_payload(self, cache: Any) -> Any:
+        from repro.runtime.plan import ExecutionPayload
+
+        return ExecutionPayload(
+            system=self.resolved_system(),
+            deadlines=self.resolved_deadlines(),
+            policy=self._policy,
+            relaxation_steps=self._steps,
+            require_feasible=self._require_feasible,
+            machine=self._machine,
+            overhead=self._overhead,
+            cache_dir=str(cache.root) if cache is not None else None,
+        )
+
+    @staticmethod
+    def _executor_for(config: dict[str, Any]):
+        from repro.runtime.pool import SweepExecutor
+
+        return SweepExecutor(
+            config.get("workers"),
+            chunk_size=config.get("chunk_size"),
+            mp_context=config.get("mp_context"),
+        )
+
+    @staticmethod
+    def _adapt_progress(progress: Any):
+        if progress is None:
+            return None
+        return lambda done, total, unit: progress(done, total, unit.label)
+
+    def _run_many_parallel(
+        self,
+        entries: Sequence[tuple[str, ManagerSpec, int, int]],
+        config: dict[str, Any],
+        progress: Any,
+    ) -> BatchResult:
+        from repro.runtime.plan import plan_run_many
+
+        cache = self._parallel_artifact_cache()
+        self._prepare_parallel_cache(cache, [spec for _, spec, _, _ in entries])
+        payload = self._execution_payload(cache)
+        sampler = payload.system.timing.scenario_sampler
+        track = hasattr(sampler, "seek") and hasattr(sampler, "cursor")
+        plan = plan_run_many(payload, entries, track_sampler=track)
+        outcome = self._executor_for(config).run(
+            plan, progress=self._adapt_progress(progress)
+        )
+        deadlines = self.resolved_deadlines()
+        machine_name = self._machine.name if self._machine is not None else None
+        runs: dict[str, RunResult] = {}
+        for unit in plan.units:
+            runs[unit.label] = RunResult(
+                manager_key=unit.manager.key,
+                manager_name=outcome.manager_names[unit.index],
+                outcomes=outcome.outcomes[unit.index],
+                deadlines=deadlines,
+                seed=unit.seed,
+                machine_name=machine_name,
+            )
+        if track and plan.total_draws:
+            # leave the shared scenario stream exactly where a serial run would
+            sampler.seek(sampler.cursor + plan.total_draws)
+        return BatchResult(runs=runs)
+
+    def _compare_parallel(
+        self,
+        chosen: Sequence[ManagerSpec],
+        scenarios: Sequence[ActualTimeScenario],
+        used_seed: int | None,
+        config: dict[str, Any],
+        progress: Any,
+    ) -> BatchResult:
+        from repro.runtime.plan import plan_compare, unique_label
+
+        cache = self._parallel_artifact_cache()
+        self._prepare_parallel_cache(cache, list(chosen))
+        payload = self._execution_payload(cache)
+        plan = plan_compare(payload, list(chosen), scenarios)
+        outcome = self._executor_for(config).run(
+            plan, progress=self._adapt_progress(progress)
+        )
+        deadlines = self.resolved_deadlines()
+        machine_name = self._machine.name if self._machine is not None else None
+        runs: dict[str, RunResult] = {}
+        for unit in plan.units:
+            name = outcome.manager_names[unit.index]
+            label = unique_label(runs, name, unit.index)
+            runs[label] = RunResult(
+                manager_key=unit.manager.key,
+                manager_name=name,
+                outcomes=outcome.outcomes[unit.index],
+                deadlines=deadlines,
+                seed=used_seed,
+                machine_name=machine_name,
             )
         return BatchResult(runs=runs)
 

@@ -9,6 +9,9 @@ code; every command is driven through the :mod:`repro.api` facade:
   metrics;
 * ``compare`` — run several managers on identical scenarios and print the
   overhead / quality tables;
+* ``sweep`` — run a manager × seed scenario grid through the
+  :mod:`repro.runtime` sweep engine (optionally across worker processes,
+  with the persistent compiled-controller cache);
 * ``experiments`` — run the full experiment suite (all tables and figures);
 * ``diagram`` — print the speed diagram of one controlled cycle.
 """
@@ -61,11 +64,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated registry specs to compare (see 'managers')",
     )
 
+    sweep = commands.add_parser(
+        "sweep", help="run a manager x seed scenario grid (optionally in parallel)"
+    )
+    sweep.add_argument(
+        "--managers",
+        default="relaxation",
+        help="comma-separated registry specs forming the manager axis",
+    )
+    sweep.add_argument(
+        "--scenarios",
+        type=int,
+        default=8,
+        help="scenarios per manager (seeds derived via SeedSequence.spawn)",
+    )
+    sweep.add_argument("--cycles", type=int, default=4, help="cycles per scenario")
+    sweep.add_argument("--seed", type=int, default=0, help="base random seed")
+    sweep.add_argument(
+        "--small", action="store_true", help="use the QCIF workload instead of the paper's CIF"
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = serial, the default; N >= 1 uses the sweep pool)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="compiled-artifact cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro/compiled)",
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent compiled-artifact cache",
+    )
+
     experiments = commands.add_parser(
         "experiments", help="run the full experiment suite (every table and figure)"
     )
     experiments.add_argument("--fast", action="store_true", help="small workload, quick run")
     experiments.add_argument("--seed", type=int, default=0, help="random seed")
+    experiments.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run the manager comparisons through the sweep pool with N workers",
+    )
 
     diagram = commands.add_parser("diagram", help="print the speed diagram of one cycle")
     diagram.add_argument("--seed", type=int, default=0, help="random seed")
@@ -165,10 +210,72 @@ def _run_compare(frames: int, seed: int, small: bool, managers: str = _DEFAULT_C
     return 0
 
 
-def _run_experiments(fast: bool, seed: int) -> int:
+def _run_sweep(
+    managers: str,
+    scenarios: int,
+    cycles: int,
+    seed: int,
+    small: bool,
+    workers: int,
+    cache_dir: str | None,
+    no_cache: bool,
+) -> int:
+    import time
+
+    from repro.analysis import format_table, grid_specs, run_session_sweep, sweep_table
+    from repro.runtime.plan import spawn_seeds
+
+    if scenarios < 1:
+        print("error: --scenarios must be >= 1")
+        return 2
+    specs = [spec.strip() for spec in managers.split(",") if spec.strip()]
+    try:
+        session = _session(seed, small, cycles)
+        # an explicit opt-out also keeps the *pool* from using its default
+        # cache location — workers then compile locally
+        session.artifacts(False if no_cache else (cache_dir if cache_dir is not None else True))
+        grid = grid_specs(
+            managers=specs, seeds=spawn_seeds(seed, scenarios), cycles=cycles
+        )
+        start = time.perf_counter()
+        points = run_session_sweep(
+            session,
+            grid,
+            parallel=workers >= 1,
+            workers=workers if workers >= 1 else None,
+        )
+        elapsed = time.perf_counter() - start
+    except (ValueError, RuntimeError) as error:  # registry/session/sweep errors
+        print(f"error: {error}")
+        return 2
+    headers, rows = sweep_table(points)
+    mode = f"{workers} worker(s)" if workers >= 1 else "serial"
+    print(
+        format_table(
+            headers,
+            rows,
+            title=f"Sweep: {len(grid)} scenarios x {cycles} cycles ({mode})",
+        )
+    )
+    print(f"\ncompleted in {elapsed:.2f} s ({mode})")
+    if session.artifact_cache is not None:
+        cache = session.artifact_cache
+        print(
+            f"artifact cache: {cache.directory} "
+            f"({len(cache)} artifact(s), session hits={cache.hits}, misses={cache.misses})"
+        )
+    return 0
+
+
+def _run_experiments(fast: bool, seed: int, workers: int | None = None) -> int:
     from repro.experiments import run_all_experiments
 
-    print(run_all_experiments(fast=fast, seed=seed).render())
+    try:
+        result = run_all_experiments(fast=fast, seed=seed, workers=workers)
+    except (ValueError, RuntimeError) as error:  # bad --workers / sweep failures
+        print(f"error: {error}")
+        return 2
+    print(result.render())
     return 0
 
 
@@ -198,8 +305,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_run(arguments.manager, arguments.cycles, arguments.seed, arguments.small)
     if arguments.command == "compare":
         return _run_compare(arguments.frames, arguments.seed, arguments.small, arguments.managers)
+    if arguments.command == "sweep":
+        return _run_sweep(
+            arguments.managers,
+            arguments.scenarios,
+            arguments.cycles,
+            arguments.seed,
+            arguments.small,
+            arguments.workers,
+            arguments.cache_dir,
+            arguments.no_cache,
+        )
     if arguments.command == "experiments":
-        return _run_experiments(arguments.fast, arguments.seed)
+        return _run_experiments(arguments.fast, arguments.seed, arguments.workers)
     if arguments.command == "diagram":
         return _run_diagram(arguments.seed)
     raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover

@@ -80,6 +80,55 @@ class RelaxationTable:
         self._lower: dict[int, np.ndarray] = {}
         self._precompute()
 
+    @classmethod
+    def from_arrays(
+        cls,
+        td_table: TDTable,
+        steps: Sequence[int],
+        upper: Sequence[np.ndarray],
+        lower: Sequence[np.ndarray],
+    ) -> "RelaxationTable":
+        """Rehydrate a table from already-computed bounds, skipping the precompute.
+
+        ``upper``/``lower`` hold one ``(n_levels, n_states)`` array per step of
+        ``steps`` (ascending order, no duplicates) — exactly what
+        :attr:`steps` ordering produces.  This is the deserialisation path of
+        :mod:`repro.runtime.artifacts`; the arrays are trusted to be the
+        output of a previous :meth:`_precompute`.
+        """
+        cleaned = tuple(sorted({int(r) for r in steps}))
+        if not cleaned or cleaned[0] < 1:
+            raise ValueError(f"relaxation steps must be positive integers, got {steps!r}")
+        if tuple(int(r) for r in steps) != cleaned:
+            # the bounds arrays are paired positionally — accepting any other
+            # ordering would silently attach step r's bounds to a different r
+            raise ValueError(f"relaxation steps must be unique and ascending, got {steps!r}")
+        if len(upper) != len(cleaned) or len(lower) != len(cleaned):
+            raise ValueError(
+                f"expected one upper and one lower array per step ({len(cleaned)}), "
+                f"got {len(upper)} and {len(lower)}"
+            )
+        expected = (td_table.n_levels, td_table.n_states)
+        table = cls.__new__(cls)
+        table._td = td_table
+        table._steps = cleaned
+        table._upper = {}
+        table._lower = {}
+        for position, r in enumerate(cleaned):
+            for name, source, store in (
+                ("upper", upper[position], table._upper),
+                ("lower", lower[position], table._lower),
+            ):
+                array = np.array(source, dtype=np.float64)
+                if array.shape != expected:
+                    raise ValueError(
+                        f"{name} bounds for step {r} must have shape {expected}, "
+                        f"got {array.shape}"
+                    )
+                array.setflags(write=False)
+                store[r] = array
+        return table
+
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #

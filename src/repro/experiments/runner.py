@@ -57,11 +57,14 @@ def run_all_experiments(
     fast: bool = False,
     seed: int = 0,
     workload: EncoderWorkload | None = None,
+    workers: int | None = None,
 ) -> ExperimentSuiteResult:
     """Run experiments E1–E5 and return their results.
 
     ``fast`` switches to the QCIF workload with a short frame sequence; the
     shapes (orderings, matches) are preserved, only the scale changes.
+    ``workers`` routes the manager comparisons of E2/E3 through the
+    :mod:`repro.runtime` sweep pool (results are bit-identical to serial).
     """
     if workload is not None:
         wl = workload
@@ -77,6 +80,8 @@ def run_all_experiments(
     # E2 and E3 share one facade session: the symbolic tables are compiled
     # once and reused from the session's cache across both experiments.
     session = Session().system(wl).seed(seed)
+    if workers is not None:
+        session.parallel(workers)
     overhead = run_overhead_experiment(wl, n_frames=n_frames, seed=seed, session=session)
     fig7 = run_fig7_experiment(wl, n_frames=n_frames, seed=seed, session=session)
     fig8 = run_fig8_experiment(wl, seed=seed)
@@ -91,8 +96,16 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="Reproduce the paper's experiments")
     parser.add_argument("--fast", action="store_true", help="small workload for a quick run")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run the manager comparisons through the sweep pool with N workers",
+    )
     arguments = parser.parse_args(argv)
-    result = run_all_experiments(fast=arguments.fast, seed=arguments.seed)
+    result = run_all_experiments(
+        fast=arguments.fast, seed=arguments.seed, workers=arguments.workers
+    )
     print(result.render())
     return 0
 

@@ -9,16 +9,30 @@
 """
 
 from .linear_approx import LinearRelaxationQualityManager, LinearRelaxationTable
-from .multitask import ComposedTaskSet, TaskSpec, compose_tasks, per_task_quality
-from .power import DvfsTask, FrequencyScale, build_dvfs_system, energy_of_outcome
+from .multitask import (
+    ComposedTaskSet,
+    MultitaskQualityManager,
+    TaskSpec,
+    compose_tasks,
+    per_task_quality,
+)
+from .power import (
+    DvfsQualityManager,
+    DvfsTask,
+    FrequencyScale,
+    build_dvfs_system,
+    energy_of_outcome,
+)
 
 __all__ = [
     "FrequencyScale",
     "DvfsTask",
+    "DvfsQualityManager",
     "build_dvfs_system",
     "energy_of_outcome",
     "TaskSpec",
     "ComposedTaskSet",
+    "MultitaskQualityManager",
     "compose_tasks",
     "per_task_quality",
     "LinearRelaxationTable",

@@ -19,11 +19,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.deadlines import DeadlineFunction
+from repro.core.manager import Decision, ManagerWork, MemoryFootprint, QualityManager
 from repro.core.system import CycleOutcome, ParameterizedSystem
 from repro.core.timing import TimingModel, TimingTable
 from repro.core.types import Action, QualitySet, ScheduledSequence
 
-__all__ = ["TaskSpec", "ComposedTaskSet", "compose_tasks", "per_task_quality"]
+__all__ = [
+    "TaskSpec",
+    "ComposedTaskSet",
+    "MultitaskQualityManager",
+    "compose_tasks",
+    "per_task_quality",
+]
 
 
 @dataclass(frozen=True)
@@ -167,6 +174,74 @@ def compose_tasks(
         action_task=action_task,
         task_last_action=task_last_action,
     )
+
+
+class MultitaskQualityManager(QualityManager):
+    """The composed-controller of a multi-task hyper-cycle (registry key ``"multitask"``).
+
+    Delegates to an inner compiled manager whose tables were generated for
+    the composed system's *multiple* deadlines (the ``min`` over remaining
+    deadlines in ``t^D`` handles the interleaving), and adds the per-task
+    reporting surface: bind a :class:`ComposedTaskSet` to split an outcome's
+    chosen qualities back into per-task averages.
+    """
+
+    name = "multitask"
+
+    def __init__(
+        self,
+        inner: QualityManager,
+        composed: ComposedTaskSet | None = None,
+    ) -> None:
+        if composed is not None and len(composed.system.qualities) != len(inner.qualities):
+            raise ValueError(
+                "composed task set and inner manager disagree on the quality set"
+            )
+        self._inner = inner
+        self._composed = composed
+
+    @property
+    def qualities(self) -> QualitySet:
+        return self._inner.qualities
+
+    @property
+    def inner(self) -> QualityManager:
+        """The compiled manager making the actual decisions."""
+        return self._inner
+
+    @property
+    def composed(self) -> ComposedTaskSet | None:
+        """The bound task set used for per-task reporting, if any."""
+        return self._composed
+
+    def reset(self) -> None:
+        self._inner.reset()
+
+    def decide(self, state_index: int, time: float) -> Decision:
+        decision = self._inner.decide(state_index, time)
+        work = ManagerWork(
+            kind=self.name,
+            arithmetic_ops=decision.work.arithmetic_ops,
+            comparisons=decision.work.comparisons,
+            table_lookups=decision.work.table_lookups,
+        )
+        return Decision(quality=decision.quality, steps=decision.steps, work=work)
+
+    def memory_footprint(self) -> MemoryFootprint:
+        return self._inner.memory_footprint()
+
+    def task_qualities(
+        self,
+        outcome: CycleOutcome,
+        composed: ComposedTaskSet | None = None,
+    ) -> dict[str, float]:
+        """Mean chosen quality per task for one hyper-cycle execution."""
+        task_set = composed if composed is not None else self._composed
+        if task_set is None:
+            raise ValueError(
+                "no ComposedTaskSet bound; pass one here or at construction"
+            )
+        return per_task_quality(task_set, outcome)
 
 
 def per_task_quality(composed: ComposedTaskSet, outcome: CycleOutcome) -> dict[str, float]:

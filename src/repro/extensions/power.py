@@ -28,11 +28,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.deadlines import DeadlineFunction
+from repro.core.manager import Decision, ManagerWork, MemoryFootprint, QualityManager
 from repro.core.system import CycleOutcome, ParameterizedSystem
 from repro.core.timing import TimingModel, TimingTable
 from repro.core.types import QualitySet, ScheduledSequence
 
-__all__ = ["FrequencyScale", "DvfsTask", "build_dvfs_system", "energy_of_outcome"]
+__all__ = [
+    "FrequencyScale",
+    "DvfsTask",
+    "DvfsQualityManager",
+    "build_dvfs_system",
+    "energy_of_outcome",
+]
 
 
 @dataclass(frozen=True)
@@ -192,6 +199,69 @@ def build_dvfs_system(
     system = ParameterizedSystem(sequence, model)
     deadlines = DeadlineFunction.single(task.n_actions, task.deadline)
     return system, deadlines
+
+
+class DvfsQualityManager(QualityManager):
+    """Frequency manager: a compiled Quality Manager under the DVFS mapping.
+
+    Delegates every level choice (and relaxation step count) to an inner
+    compiled manager — typically the relaxation manager of the system built
+    by :func:`build_dvfs_system` — and carries the :class:`FrequencyScale`
+    that gives the levels their physical meaning.  Because level ``ℓ`` maps
+    to the ``ℓ``-th *slowest* frequency, the inner manager's "maximal
+    admissible quality" rule is exactly "minimal admissible frequency", i.e.
+    minimal energy without deadline misses; this wrapper adds the
+    frequency/energy reporting surface on top (registry key ``"dvfs"``).
+    """
+
+    name = "dvfs"
+
+    def __init__(self, inner: QualityManager, scale: FrequencyScale) -> None:
+        if scale.n_levels != len(inner.qualities):
+            raise ValueError(
+                f"frequency scale has {scale.n_levels} steps but the manager "
+                f"chooses between {len(inner.qualities)} levels"
+            )
+        self._inner = inner
+        self._scale = scale
+
+    @property
+    def qualities(self) -> QualitySet:
+        return self._inner.qualities
+
+    @property
+    def scale(self) -> FrequencyScale:
+        """The platform frequency scale the levels map onto."""
+        return self._scale
+
+    @property
+    def inner(self) -> QualityManager:
+        """The compiled manager making the actual decisions."""
+        return self._inner
+
+    def reset(self) -> None:
+        self._inner.reset()
+
+    def decide(self, state_index: int, time: float) -> Decision:
+        decision = self._inner.decide(state_index, time)
+        work = ManagerWork(
+            kind=self.name,
+            arithmetic_ops=decision.work.arithmetic_ops,
+            comparisons=decision.work.comparisons,
+            table_lookups=decision.work.table_lookups,
+        )
+        return Decision(quality=decision.quality, steps=decision.steps, work=work)
+
+    def memory_footprint(self) -> MemoryFootprint:
+        return self._inner.memory_footprint()
+
+    def frequency_of(self, level: int) -> float:
+        """The clock frequency a chosen level corresponds to."""
+        return self._scale.frequency_of_level(int(level))
+
+    def energy_of(self, outcome: CycleOutcome, *, include_static: bool = True) -> float:
+        """Energy (joules) of one executed cycle under this manager's scale."""
+        return energy_of_outcome(outcome, self._scale, include_static=include_static)
 
 
 def energy_of_outcome(

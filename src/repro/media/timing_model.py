@@ -182,6 +182,24 @@ class FrameScenarioSampler:
         """Restart the sequence from the first frame."""
         self._cursor = 0
 
+    @property
+    def cursor(self) -> int:
+        """Number of scenario draws consumed so far (next frame index, unwrapped)."""
+        return self._cursor
+
+    def seek(self, cursor: int) -> None:
+        """Position the sequence so the next draw encodes frame ``cursor % n_frames``.
+
+        This is what lets the parallel sweep engine replay the exact frame
+        sequence a serial run would see: each work unit seeks to the number of
+        draws the units before it consume, so outcomes are bit-identical to
+        the serial execution order.
+        """
+        cursor = int(cursor)
+        if cursor < 0:
+            raise ValueError(f"cursor must be >= 0, got {cursor}")
+        self._cursor = cursor
+
     def peek_frame(self, cycle_index: int) -> FrameContent:
         """The frame content a given cycle index will encode."""
         return self._frames[cycle_index % len(self._frames)]

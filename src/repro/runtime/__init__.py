@@ -1,0 +1,59 @@
+"""Run-time scaling layer: persistent compiled artifacts and parallel sweeps.
+
+The paper's central claim is that the expensive part of quality management —
+building the ``t^D`` table, the quality regions and the control relaxation
+regions — happens at *compile time*, leaving only cheap table lookups on the
+hot path.  This package extends that separation across process and machine
+boundaries:
+
+* :mod:`repro.runtime.artifacts` — a versioned on-disk cache of
+  :class:`~repro.core.compiler.CompiledControllers`, keyed by a content hash
+  of the compiler inputs.  A warm cache lets a fresh process skip symbolic
+  compilation entirely.
+* :mod:`repro.runtime.plan` — turns ``run_many`` / ``compare`` / grid-sweep
+  inputs into an explicit :class:`~repro.runtime.plan.SweepPlan` of
+  independent work units with per-unit seeds, labels and scenario-stream
+  offsets.
+* :mod:`repro.runtime.pool` — a process-based
+  :class:`~repro.runtime.pool.SweepExecutor` that shards a plan across
+  workers; workers hydrate their managers from the artifact cache instead of
+  recompiling, and parallel results are bit-identical to the serial baseline
+  for fixed seeds.
+
+The serial execution path of :class:`repro.api.Session` remains the default
+and the behavioural reference; this layer only changes *where* and *how
+often* work happens, never *what* is computed.
+"""
+
+from .artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactError,
+    ArtifactIntegrityError,
+    CompiledArtifactCache,
+    compile_key,
+    default_cache_dir,
+)
+from .plan import ExecutionPayload, PlanError, SweepPlan, SweepUnit, spawn_seeds, unique_label
+from .pool import SweepExecutionError, SweepExecutor, SweepOutcome, UnitFailure
+
+__all__ = [
+    # artifacts
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactError",
+    "ArtifactIntegrityError",
+    "CompiledArtifactCache",
+    "compile_key",
+    "default_cache_dir",
+    # plan
+    "ExecutionPayload",
+    "PlanError",
+    "SweepPlan",
+    "SweepUnit",
+    "spawn_seeds",
+    "unique_label",
+    # pool
+    "SweepExecutor",
+    "SweepExecutionError",
+    "SweepOutcome",
+    "UnitFailure",
+]

@@ -1,0 +1,254 @@
+"""Explicit sweep plans: the unit of work the parallel engine executes.
+
+A :class:`SweepPlan` is the de-sugared form of a ``Session.run_many`` /
+``Session.compare`` / grid-sweep request: a shared :class:`ExecutionPayload`
+(everything a worker needs to reconstruct the execution environment) plus an
+ordered tuple of independent :class:`SweepUnit` entries, each carrying its
+final label, manager spec, cycle count, seed and — crucially — the offset
+into the shared scenario stream that makes parallel execution bit-identical
+to the serial baseline.
+
+The offset bookkeeping is what preserves determinism: systems built from
+encoder workloads draw their scenarios from a *stateful*
+:class:`~repro.media.timing_model.FrameScenarioSampler` that walks through a
+frame sequence, so the serial path hands unit ``i`` a sampler that units
+``0..i-1`` have already advanced.  The plan records, per unit, how many draws
+the serial path would have consumed before it; a worker seeks its own copy of
+the sampler to that position before running the unit.
+
+Plans are plain data (fully picklable) and make no scheduling decisions —
+sharding, worker counts and failure handling live in
+:mod:`repro.runtime.pool`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.api.registry import ManagerSpec
+from repro.core.deadlines import DeadlineFunction
+from repro.core.policy import QualityManagementPolicy
+from repro.core.system import ParameterizedSystem
+from repro.core.timing import ActualTimeScenario
+
+__all__ = [
+    "PlanError",
+    "ExecutionPayload",
+    "SweepUnit",
+    "SweepPlan",
+    "plan_run_many",
+    "plan_compare",
+    "spawn_seeds",
+    "unique_label",
+]
+
+
+class PlanError(ValueError):
+    """Invalid sweep-plan construction inputs."""
+
+
+def unique_label(taken: Any, label: str, index: int) -> str:
+    """A variant of ``label`` not yet in ``taken`` (a container of labels).
+
+    Starts from the bare label, then tries ``label-<index>``, ``label-<index+1>``
+    ... until free.  Unlike a single ``f"{label}-{index}"`` fallback this can
+    never collide with a user-supplied label such as ``"a-1"``.
+    """
+    if label not in taken:
+        return label
+    suffix = index
+    candidate = f"{label}-{suffix}"
+    while candidate in taken:
+        suffix += 1
+        candidate = f"{label}-{suffix}"
+    return candidate
+
+
+def spawn_seeds(base_seed: int, count: int) -> list[int]:
+    """``count`` well-separated child seeds derived from one base seed.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn`, so scenarios of a sweep get
+    statistically independent streams while remaining a pure function of
+    ``base_seed`` — the same list on every machine and every run.
+    """
+    if count < 0:
+        raise PlanError(f"seed count must be >= 0, got {count}")
+    children = np.random.SeedSequence(int(base_seed)).spawn(count)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
+
+
+@dataclass(frozen=True)
+class ExecutionPayload:
+    """Everything a worker process needs to rebuild the execution environment.
+
+    ``system`` is the *base* (undeployed) system — exactly what
+    ``Session.resolved_system()`` returns; workers apply ``machine.deploy``
+    themselves so that unpicklable rescaled systems never need to cross the
+    process boundary.  ``overhead`` is the session's raw overhead setting
+    (``None``, a preset name, :class:`~repro.platform.overhead.OverheadParameters`
+    or a custom model) and is resolved worker-side with the same rules the
+    session uses.  ``cache_dir`` points at the compiled-artifact cache the
+    workers hydrate from; ``None`` means each worker compiles locally.
+    """
+
+    system: ParameterizedSystem
+    deadlines: DeadlineFunction
+    policy: QualityManagementPolicy | None
+    relaxation_steps: tuple[int, ...]
+    require_feasible: bool
+    machine: Any = None  # repro.platform.machine.Machine | None
+    overhead: Any = None
+    cache_dir: str | None = None
+
+
+@dataclass(frozen=True)
+class SweepUnit:
+    """One independent work unit of a sweep.
+
+    Exactly one of two execution modes applies:
+
+    * ``scenarios`` is ``None`` — the worker draws ``cycles`` scenarios from
+      the system's own sampler (seeked to ``sampler_offset`` when the sampler
+      supports it) with a fresh ``default_rng(seed)``;
+    * ``scenarios`` is a tuple — the pre-drawn scenarios are replayed as-is
+      (the ``compare`` setting: identical inputs for every manager).
+    """
+
+    index: int
+    label: str
+    manager: ManagerSpec
+    cycles: int
+    seed: int | None = None
+    sampler_offset: int | None = None
+    scenarios: tuple[ActualTimeScenario, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.cycles < 1:
+            raise PlanError(f"unit {self.index}: cycles must be >= 1, got {self.cycles}")
+        if self.scenarios is not None and len(self.scenarios) != self.cycles:
+            raise PlanError(
+                f"unit {self.index}: {self.cycles} cycles but {len(self.scenarios)} scenarios"
+            )
+
+    @property
+    def draws(self) -> int:
+        """Scenario draws this unit consumes from the shared sampler stream."""
+        return 0 if self.scenarios is not None else self.cycles
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """An ordered set of independent work units over one shared payload."""
+
+    payload: ExecutionPayload
+    units: tuple[SweepUnit, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for position, unit in enumerate(self.units):
+            if unit.index != position:
+                raise PlanError(
+                    f"units must be indexed consecutively from 0: position "
+                    f"{position} holds unit index {unit.index}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles executed across all units."""
+        return sum(unit.cycles for unit in self.units)
+
+    @property
+    def total_draws(self) -> int:
+        """Scenario draws the whole plan consumes from the shared stream."""
+        return sum(unit.draws for unit in self.units)
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Unit labels in execution order (unique by construction)."""
+        return tuple(unit.label for unit in self.units)
+
+    def chunked(self, chunk_size: int) -> list[tuple[SweepUnit, ...]]:
+        """Split the units into contiguous chunks of at most ``chunk_size``."""
+        if chunk_size < 1:
+            raise PlanError(f"chunk size must be >= 1, got {chunk_size}")
+        return [
+            self.units[start : start + chunk_size]
+            for start in range(0, len(self.units), chunk_size)
+        ]
+
+    def default_chunk_size(self, workers: int) -> int:
+        """Chunks small enough to balance, large enough to amortise transport."""
+        if workers < 1:
+            raise PlanError(f"workers must be >= 1, got {workers}")
+        return max(1, math.ceil(len(self.units) / (workers * 4)))
+
+
+def plan_run_many(
+    payload: ExecutionPayload,
+    entries: Sequence[tuple[str, ManagerSpec, int, int | None]],
+    *,
+    track_sampler: bool = True,
+) -> SweepPlan:
+    """Build the plan of a ``run_many`` sweep.
+
+    ``entries`` hold ``(label, manager_spec, cycles, seed)`` per scenario in
+    execution order; labels are de-duplicated here (the same loop the serial
+    path uses), and each unit receives the cumulative draw offset of the
+    units before it.  ``track_sampler=False`` drops the offsets (for systems
+    whose sampler is stateless or absent).
+    """
+    units: list[SweepUnit] = []
+    taken: set[str] = set()
+    offset = 0
+    for index, (label, spec, cycles, seed) in enumerate(entries):
+        final = unique_label(taken, label, index)
+        taken.add(final)
+        units.append(
+            SweepUnit(
+                index=index,
+                label=final,
+                manager=spec,
+                cycles=int(cycles),
+                seed=seed,
+                sampler_offset=offset if track_sampler else None,
+            )
+        )
+        offset += int(cycles)
+    return SweepPlan(payload=payload, units=tuple(units))
+
+
+def plan_compare(
+    payload: ExecutionPayload,
+    specs: Sequence[ManagerSpec],
+    scenarios: Sequence[ActualTimeScenario],
+) -> SweepPlan:
+    """Build the plan of a manager comparison on pre-drawn scenarios.
+
+    Every unit replays the same scenario tuple, so no unit touches the shared
+    sampler stream (the parent already consumed the draws when it generated
+    ``scenarios``).  Unit labels are provisional (the spec string); the final
+    labels come from the executed managers' reporting names, as in the serial
+    path.
+    """
+    if not scenarios:
+        raise PlanError("a compare plan needs at least one pre-drawn scenario")
+    shared = tuple(scenarios)
+    units = tuple(
+        SweepUnit(
+            index=index,
+            label=str(spec),
+            manager=spec,
+            cycles=len(shared),
+            seed=None,
+            sampler_offset=None,
+            scenarios=shared,
+        )
+        for index, spec in enumerate(specs)
+    )
+    return SweepPlan(payload=payload, units=units)

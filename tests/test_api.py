@@ -368,6 +368,28 @@ class TestRunLayer:
         with pytest.raises(SessionError, match="scenario"):
             session.run_many([{"label": "x", "frames": 2}])
 
+    def test_run_many_label_collisions_never_overwrite(self, system, deadlines):
+        """Regression: the old ``f"{label}-{index}"`` fallback could collide
+        with a user-supplied label and silently drop a run."""
+        session = Session().system(system).deadlines(deadlines).manager("region")
+        batch = session.run_many(
+            [
+                {"label": "a", "seed": 1},
+                {"label": "a-2", "seed": 2},  # occupies the old fallback name
+                {"label": "a", "seed": 3},
+                {"label": "a", "seed": 4},
+            ]
+        )
+        assert len(batch) == 4
+        assert batch.labels == ("a", "a-2", "a-3", "a-4")
+        assert [batch[label].seed for label in batch.labels] == [1, 2, 3, 4]
+
+    def test_compare_label_collisions_never_overwrite(self, system, deadlines):
+        session = Session().system(system).deadlines(deadlines)
+        batch = session.compare("relaxation", "relaxation", "relaxation", cycles=1)
+        assert len(batch) == 3
+        assert batch.labels == ("relaxation", "relaxation-1", "relaxation-2")
+
     def test_batch_result_aggregates(self, system, deadlines):
         batch = Session().system(system).deadlines(deadlines).compare(cycles=2)
         assert isinstance(batch, BatchResult)
