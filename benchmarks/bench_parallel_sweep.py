@@ -29,7 +29,9 @@ from repro.media import paper_encoder, small_encoder
 from repro.runtime import spawn_seeds
 
 _N_SCENARIOS = 32
-_CYCLES_PER_SCENARIO = 4
+#: enough work per unit that pool startup stays amortised now that the
+#: vectorised cycle engine (repro.core.engine) shrank per-unit execution cost
+_CYCLES_PER_SCENARIO = 12
 _POOL_WORKERS = 4
 _MIN_SPEEDUP = 1.5
 

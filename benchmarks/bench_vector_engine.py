@@ -1,0 +1,149 @@
+"""Vectorised cycle engine gates: throughput and bit-identity at paper scale.
+
+Two claims of :mod:`repro.core.engine` are asserted here on a 256-cycle batch
+of the paper's encoder system (1,189 actions, 7 quality levels):
+
+* the vectorised batch execution of ``PS || Γ`` is **>= 5x** faster than the
+  scalar per-action loop for the table-driven managers (the gate runs the
+  relaxation manager; region and fixed-quality numbers are reported as extra
+  info);
+* the batch outcomes are bit-identical to the scalar loop — the speedup is
+  pure interpreter-overhead removal, not a semantics change.
+
+The measurements are additionally written to ``BENCH_engine.json`` (cycles
+per second for each path, speedups, environment info) so the performance
+trajectory is machine-readable across commits; CI uploads the file as an
+artifact.  Set ``$BENCH_ENGINE_JSON`` to redirect the output path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    run_cycle,
+    run_cycles_vectorized,
+    run_fixed_quality,
+    run_fixed_quality_batch,
+)
+from repro.platform.overhead import IPOD_LIKE, LinearOverheadModel
+
+_N_CYCLES = 256
+_MIN_SPEEDUP = 5.0
+#: scalar baselines below this are timer noise — the ratio would be meaningless
+_MIN_MEASURABLE_SCALAR_S = 0.050
+
+
+def _outcomes_identical(left, right) -> bool:
+    fields = (
+        "qualities",
+        "durations",
+        "completion_times",
+        "manager_invocations",
+        "manager_overheads",
+    )
+    return all(
+        np.array_equal(getattr(a, f), getattr(b, f))
+        for a, b in zip(left, right)
+        for f in fields
+    )
+
+
+def _report_path() -> str:
+    return os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
+
+
+def _write_report(payload: dict) -> None:
+    with open(_report_path(), "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def bench_vector_engine_speedup(paper_system, paper_controllers):
+    """256 paper-scale cycles: the vectorised engine beats the scalar loop >= 5x."""
+    overhead_model = LinearOverheadModel(IPOD_LIKE)
+    scenarios = paper_system.draw_scenarios(_N_CYCLES, np.random.default_rng(0))
+
+    measurements: dict[str, dict[str, float]] = {}
+    for name, manager in (
+        ("relaxation", paper_controllers.relaxation),
+        ("region", paper_controllers.region),
+    ):
+        started = time.perf_counter()
+        scalar = [
+            run_cycle(paper_system, manager, scenario=s, overhead_model=overhead_model)
+            for s in scenarios
+        ]
+        scalar_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        vectorized = run_cycles_vectorized(
+            paper_system, manager, scenarios, overhead_model=overhead_model
+        )
+        vector_s = time.perf_counter() - started
+
+        assert _outcomes_identical(scalar, vectorized), (
+            f"{name}: vectorised outcomes differ from the scalar loop"
+        )
+        measurements[name] = {
+            "scalar_seconds": scalar_s,
+            "vectorized_seconds": vector_s,
+            "scalar_cycles_per_sec": _N_CYCLES / scalar_s,
+            "vectorized_cycles_per_sec": _N_CYCLES / vector_s,
+            "speedup": scalar_s / vector_s,
+        }
+
+    # fixed-quality baseline batch (the read-only fast path + one cumsum)
+    started = time.perf_counter()
+    fixed_scalar = [run_fixed_quality(paper_system, 3, scenario=s) for s in scenarios]
+    fixed_scalar_s = time.perf_counter() - started
+    started = time.perf_counter()
+    fixed_batch = run_fixed_quality_batch(paper_system, 3, scenarios)
+    fixed_batch_s = time.perf_counter() - started
+    assert _outcomes_identical(fixed_scalar, fixed_batch)
+    measurements["fixed-quality"] = {
+        "scalar_seconds": fixed_scalar_s,
+        "vectorized_seconds": fixed_batch_s,
+        "scalar_cycles_per_sec": _N_CYCLES / fixed_scalar_s,
+        "vectorized_cycles_per_sec": _N_CYCLES / fixed_batch_s,
+        "speedup": fixed_scalar_s / fixed_batch_s,
+    }
+
+    _write_report(
+        {
+            "benchmark": "vector_engine",
+            "n_cycles": _N_CYCLES,
+            "n_actions": paper_system.n_actions,
+            "n_levels": len(paper_system.qualities),
+            "gate_manager": "relaxation",
+            "min_speedup_gate": _MIN_SPEEDUP,
+            "managers": measurements,
+            "env": {
+                "python": sys.version.split()[0],
+                "numpy": np.__version__,
+                "platform": platform.platform(),
+                "machine": platform.machine(),
+                "cpu_count": os.cpu_count(),
+            },
+        }
+    )
+
+    gate = measurements["relaxation"]
+    if gate["scalar_seconds"] < _MIN_MEASURABLE_SCALAR_S:
+        pytest.skip(
+            f"scalar baseline took only {gate['scalar_seconds'] * 1000.0:.1f} ms — "
+            "too fast on this runner to gate a speedup ratio meaningfully"
+        )
+    assert gate["speedup"] >= _MIN_SPEEDUP, (
+        f"vectorised engine is only {gate['speedup']:.2f}x the scalar loop on a "
+        f"{_N_CYCLES}-cycle relaxation batch "
+        f"({gate['scalar_seconds'] * 1000.0:.0f} ms vs "
+        f"{gate['vectorized_seconds'] * 1000.0:.0f} ms, gate {_MIN_SPEEDUP}x)"
+    )

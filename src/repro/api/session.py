@@ -30,6 +30,15 @@ Design contract (the three facade guarantees):
   :meth:`Session.run_many` sweeps scenario specs; :meth:`Session.stream`
   yields :class:`~repro.core.system.CycleOutcome` objects one at a time.
 
+By default (``vectorize="auto"``) the batched run methods execute
+table-driven managers through the vectorised cycle engine
+(:mod:`repro.core.engine`): scenarios are drawn in one batched call and the
+cycles run as NumPy kernels, bit-identical to the scalar loop but without
+its per-action Python cost.  Managers without a decision kernel (numeric,
+the adaptive baselines, the extensions) transparently use the scalar loop;
+:meth:`Session.vectorize` or the per-call ``vectorize=`` keyword force
+either path.
+
 Two optional :mod:`repro.runtime` integrations scale the run layer beyond one
 process:
 
@@ -64,6 +73,7 @@ import numpy as np
 from repro.core.compiler import CompiledControllers, QualityManagerCompiler
 from repro.core.controller import OverheadModelProtocol, run_cycle
 from repro.core.deadlines import DeadlineFunction
+from repro.core.engine import coerce_vectorize_mode, run_cycles_batch
 from repro.core.manager import QualityManager
 from repro.core.policy import AveragePolicy, MixedPolicy, QualityManagementPolicy, SafePolicy
 from repro.core.relaxation import DEFAULT_RELAXATION_STEPS
@@ -183,6 +193,7 @@ class Session:
         self._artifacts: Any = None  # runtime.CompiledArtifactCache | None
         self._artifacts_disabled: bool = False  # explicit .artifacts(False)
         self._parallel: dict[str, Any] | None = None
+        self._vectorize: str = "auto"
 
     # ------------------------------------------------------------------ #
     # fluent configuration (each setter validates eagerly, returns self)
@@ -387,6 +398,23 @@ class Session:
         """The configured :class:`~repro.runtime.artifacts.CompiledArtifactCache`,
         or ``None``."""
         return self._artifacts
+
+    def vectorize(self, mode: Any = "auto") -> "Session":
+        """Select the cycle execution engine for ``run``/``compare``/``run_many``.
+
+        ``"auto"`` (the default) routes table-driven managers — constant,
+        region, relaxation — through the vectorised batch engine
+        (:mod:`repro.core.engine`) and everything else through the scalar
+        loop; outcomes are bit-identical either way.  ``"always"``/``True``
+        raises when the selected manager has no kernel; ``"never"``/``False``
+        forces the scalar loop.  The per-call ``vectorize=`` keyword on the
+        run methods overrides this builder setting.
+        """
+        self._vectorize = coerce_vectorize_mode(mode)
+        return self
+
+    def _effective_vectorize(self, override: Any) -> str:
+        return self._vectorize if override is None else coerce_vectorize_mode(override)
 
     def parallel(
         self,
@@ -600,13 +628,26 @@ class Session:
         *,
         seed: int | None = None,
         scenarios: Sequence[ActualTimeScenario] | None = None,
+        vectorize: Any = None,
     ) -> RunResult:
-        """Execute N cycles with the selected manager and collect the result."""
+        """Execute N cycles with the selected manager and collect the result.
+
+        ``vectorize`` overrides the :meth:`vectorize` builder setting for
+        this run; results are bit-identical across engines for fixed seeds.
+        """
         n_cycles = self._default_cycles if cycles is None else int(cycles)
         used_seed = self._seed if seed is None else int(seed)
         self._check_run_args(n_cycles, scenarios)  # before any compilation
         manager = self.build()
-        outcomes = tuple(self._stream(manager, n_cycles, used_seed, scenarios))
+        outcomes = run_cycles_batch(
+            self._execution_system(),
+            manager,
+            n_cycles,
+            scenarios=scenarios,
+            rng=np.random.default_rng(used_seed),
+            overhead_model=self._resolve_overhead_model(),
+            vectorize=self._effective_vectorize(vectorize),
+        )
         return RunResult(
             manager_key=self._spec.key,
             manager_name=manager.name,
@@ -624,6 +665,7 @@ class Session:
         parallel: bool | None = None,
         workers: int | None = None,
         progress: Any = None,
+        vectorize: Any = None,
     ) -> BatchResult:
         """Run several managers on *identical* per-cycle scenarios.
 
@@ -650,14 +692,15 @@ class Session:
         used_seed = self._seed if seed is None else seed
         system = self._execution_system()
         rng = np.random.default_rng(used_seed)
-        scenarios = [system.draw_scenario(rng) for _ in range(n_cycles)]
+        scenarios = system.draw_scenarios(n_cycles, rng)
         deadlines = self.resolved_deadlines()
         machine_name = self._machine.name if self._machine is not None else None
 
+        mode = self._effective_vectorize(vectorize)
         pool_config = self._pool_config(parallel, workers)
         if pool_config is not None and scenarios:
             return self._compare_parallel(
-                chosen, scenarios, used_seed, pool_config, progress
+                chosen, scenarios, used_seed, pool_config, progress, mode
             )
 
         context = self.build_context()
@@ -665,14 +708,12 @@ class Session:
         runs: dict[str, RunResult] = {}
         for index, spec in enumerate(chosen):
             manager = build_manager(spec, context)
-            outcomes = tuple(
-                run_cycle(
-                    system,
-                    manager,
-                    scenario=scenario,
-                    overhead_model=overhead_model,
-                )
-                for scenario in scenarios
+            outcomes = run_cycles_batch(
+                system,
+                manager,
+                scenarios=scenarios,
+                overhead_model=overhead_model,
+                vectorize=mode,
             )
             label = unique_label(runs, manager.name, index)
             runs[label] = RunResult(
@@ -696,6 +737,7 @@ class Session:
         parallel: bool | None = None,
         workers: int | None = None,
         progress: Any = None,
+        vectorize: Any = None,
     ) -> BatchResult:
         """Run a batch of scenario specs and collect every result.
 
@@ -756,9 +798,10 @@ class Session:
             used_seed = self._seed if spec.seed is None else int(spec.seed)
             entries.append((spec.resolved_label(index), manager_spec, n_cycles, used_seed))
 
+        mode = self._effective_vectorize(vectorize)
         pool_config = self._pool_config(parallel, workers)
         if pool_config is not None and entries:
-            return self._run_many_parallel(entries, pool_config, progress)
+            return self._run_many_parallel(entries, pool_config, progress, mode)
 
         context = self.build_context()
         system = self._execution_system()
@@ -768,10 +811,13 @@ class Session:
         runs: dict[str, RunResult] = {}
         for index, (label, manager_spec, n_cycles, used_seed) in enumerate(entries):
             manager = build_manager(manager_spec, context)
-            rng = np.random.default_rng(used_seed)
-            outcomes = tuple(
-                run_cycle(system, manager, rng=rng, overhead_model=overhead_model)
-                for _ in range(n_cycles)
+            outcomes = run_cycles_batch(
+                system,
+                manager,
+                n_cycles,
+                rng=np.random.default_rng(used_seed),
+                overhead_model=overhead_model,
+                vectorize=mode,
             )
             final_label = unique_label(runs, label, index)
             runs[final_label] = RunResult(
@@ -872,7 +918,7 @@ class Session:
             except OSError:  # pragma: no cover - read-only cache location
                 pass
 
-    def _execution_payload(self, cache: Any) -> Any:
+    def _execution_payload(self, cache: Any, vectorize: str | None = None) -> Any:
         from repro.runtime.plan import ExecutionPayload
 
         return ExecutionPayload(
@@ -884,6 +930,7 @@ class Session:
             machine=self._machine,
             overhead=self._overhead,
             cache_dir=str(cache.root) if cache is not None else None,
+            vectorize=self._vectorize if vectorize is None else vectorize,
         )
 
     @staticmethod
@@ -907,12 +954,13 @@ class Session:
         entries: Sequence[tuple[str, ManagerSpec, int, int]],
         config: dict[str, Any],
         progress: Any,
+        vectorize: str | None = None,
     ) -> BatchResult:
         from repro.runtime.plan import plan_run_many
 
         cache = self._parallel_artifact_cache()
         self._prepare_parallel_cache(cache, [spec for _, spec, _, _ in entries])
-        payload = self._execution_payload(cache)
+        payload = self._execution_payload(cache, vectorize)
         sampler = payload.system.timing.scenario_sampler
         track = hasattr(sampler, "seek") and hasattr(sampler, "cursor")
         plan = plan_run_many(payload, entries, track_sampler=track)
@@ -943,12 +991,13 @@ class Session:
         used_seed: int | None,
         config: dict[str, Any],
         progress: Any,
+        vectorize: str | None = None,
     ) -> BatchResult:
         from repro.runtime.plan import plan_compare, unique_label
 
         cache = self._parallel_artifact_cache()
         self._prepare_parallel_cache(cache, list(chosen))
-        payload = self._execution_payload(cache)
+        payload = self._execution_payload(cache, vectorize)
         plan = plan_compare(payload, list(chosen), scenarios)
         outcome = self._executor_for(config).run(
             plan, progress=self._adapt_progress(progress)

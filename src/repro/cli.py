@@ -111,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run the manager comparisons through the sweep pool with N workers",
     )
+    experiments.add_argument(
+        "--vectorize",
+        choices=("auto", "always", "never"),
+        default="auto",
+        help="cycle engine: vectorised NumPy kernels (auto/always) or the scalar loop",
+    )
 
     diagram = commands.add_parser("diagram", help="print the speed diagram of one cycle")
     diagram.add_argument("--seed", type=int, default=0, help="random seed")
@@ -267,11 +273,15 @@ def _run_sweep(
     return 0
 
 
-def _run_experiments(fast: bool, seed: int, workers: int | None = None) -> int:
+def _run_experiments(
+    fast: bool, seed: int, workers: int | None = None, vectorize: str = "auto"
+) -> int:
     from repro.experiments import run_all_experiments
 
     try:
-        result = run_all_experiments(fast=fast, seed=seed, workers=workers)
+        result = run_all_experiments(
+            fast=fast, seed=seed, workers=workers, vectorize=vectorize
+        )
     except (ValueError, RuntimeError) as error:  # bad --workers / sweep failures
         print(f"error: {error}")
         return 2
@@ -317,7 +327,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.no_cache,
         )
     if arguments.command == "experiments":
-        return _run_experiments(arguments.fast, arguments.seed, arguments.workers)
+        return _run_experiments(
+            arguments.fast, arguments.seed, arguments.workers, arguments.vectorize
+        )
     if arguments.command == "diagram":
         return _run_diagram(arguments.seed)
     raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover

@@ -8,8 +8,20 @@ them.
 """
 
 from .compiler import CompilationReport, CompiledControllers, QualityManagerCompiler
-from .controller import ControlledSystem, run_cycle, run_fixed_quality
+from .controller import (
+    ControlledSystem,
+    run_cycle,
+    run_fixed_quality,
+    run_fixed_quality_batch,
+)
 from .deadlines import DeadlineFunction
+from .engine import (
+    EngineError,
+    compile_decision_kernel,
+    run_cycles_batch,
+    run_cycles_vectorized,
+    supports_vectorized,
+)
 from .manager import (
     Decision,
     ManagerWork,
@@ -112,6 +124,13 @@ __all__ = [
     "ControlledSystem",
     "run_cycle",
     "run_fixed_quality",
+    "run_fixed_quality_batch",
+    # vectorised batch engine
+    "EngineError",
+    "compile_decision_kernel",
+    "supports_vectorized",
+    "run_cycles_vectorized",
+    "run_cycles_batch",
     # validation
     "audit_trace",
     "assert_trace_safe",

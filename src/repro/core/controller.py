@@ -24,7 +24,13 @@ from .manager import ManagerWork, QualityManager
 from .system import CycleOutcome, ParameterizedSystem
 from .timing import ActualTimeScenario
 
-__all__ = ["OverheadModelProtocol", "run_cycle", "run_fixed_quality", "ControlledSystem"]
+__all__ = [
+    "OverheadModelProtocol",
+    "run_cycle",
+    "run_fixed_quality",
+    "run_fixed_quality_batch",
+    "ControlledSystem",
+]
 
 
 class OverheadModelProtocol(Protocol):
@@ -113,14 +119,20 @@ def run_fixed_quality(
     """Execute one cycle at a constant quality level with no management at all.
 
     Used by baselines and by the profiler to measure per-quality behaviour.
+    When the caller supplies the scenario it also owns the matrix, so the
+    durations are returned as a read-only view of its row — no copy, no
+    recomputation.  An internally drawn scenario is copied instead, so the
+    outcome does not pin the full ``(levels, actions)`` matrix in memory.
     """
     if quality not in system.qualities:
         raise ValueError(f"quality {quality} not in {system.qualities!r}")
+    row = system.qualities.index_of(quality)
     if scenario is None:
         scenario = system.draw_scenario(rng if rng is not None else np.random.default_rng(0))
+        durations = scenario.matrix[row].copy()
+    else:
+        durations = scenario.matrix[row]
     n = system.n_actions
-    row = system.qualities.index_of(quality)
-    durations = scenario.matrix[row].copy()
     completion = np.cumsum(durations)
     return CycleOutcome(
         qualities=np.full(n, quality, dtype=np.int64),
@@ -128,6 +140,43 @@ def run_fixed_quality(
         completion_times=completion,
         manager_invocations=np.empty(0, dtype=np.int64),
         manager_overheads=np.empty(0, dtype=np.float64),
+    )
+
+
+def run_fixed_quality_batch(
+    system: ParameterizedSystem,
+    quality: int,
+    scenarios: Sequence[ActualTimeScenario],
+) -> tuple[CycleOutcome, ...]:
+    """Vectorised :func:`run_fixed_quality` over a batch of scenarios.
+
+    One row gather plus one ``cumsum`` for the whole batch; the outcomes are
+    bit-identical to per-scenario :func:`run_fixed_quality` calls
+    (``numpy.cumsum`` along the action axis performs the same sequential
+    additions as the scalar path).
+    """
+    if quality not in system.qualities:
+        raise ValueError(f"quality {quality} not in {system.qualities!r}")
+    if not scenarios:
+        return ()
+    row = system.qualities.index_of(quality)
+    n = system.n_actions
+    for scenario in scenarios:
+        if scenario.n_actions != n:
+            raise ValueError(
+                f"scenario covers {scenario.n_actions} actions, system has {n}"
+            )
+    durations = np.stack([scenario.matrix[row] for scenario in scenarios])
+    completion = np.cumsum(durations, axis=1)
+    return tuple(
+        CycleOutcome(
+            qualities=np.full(n, quality, dtype=np.int64),
+            durations=durations[index],
+            completion_times=completion[index],
+            manager_invocations=np.empty(0, dtype=np.int64),
+            manager_overheads=np.empty(0, dtype=np.float64),
+        )
+        for index in range(len(scenarios))
     )
 
 
@@ -188,13 +237,20 @@ class ControlledSystem:
         *,
         rng: np.random.Generator | None = None,
         scenarios: Sequence[ActualTimeScenario] | None = None,
+        vectorize: object = "auto",
     ) -> list[CycleOutcome]:
         """Execute several consecutive cycles and return their traces.
 
         Each cycle restarts the clock at zero (deadlines are relative to the
         cycle start).  ``scenarios`` fixes the actual times of every cycle,
         which allows comparing different managers on identical inputs.
+        ``vectorize`` selects the batch engine (:mod:`repro.core.engine`):
+        ``"auto"`` (default) runs table-driven managers through the
+        vectorised kernels — bit-identical outcomes, one NumPy step per
+        action instead of a Python iteration per action per cycle.
         """
+        from .engine import run_cycles_batch
+
         if n_cycles < 1:
             raise ValueError(f"n_cycles must be >= 1, got {n_cycles}")
         if scenarios is not None and len(scenarios) != n_cycles:
@@ -202,8 +258,14 @@ class ControlledSystem:
                 f"expected {n_cycles} scenarios, got {len(scenarios)}"
             )
         generator = rng if rng is not None else np.random.default_rng(0)
-        outcomes = []
-        for cycle in range(n_cycles):
-            scenario = scenarios[cycle] if scenarios is not None else None
-            outcomes.append(self.run_cycle(scenario=scenario, rng=generator))
-        return outcomes
+        return list(
+            run_cycles_batch(
+                self._system,
+                self._manager,
+                n_cycles,
+                scenarios=scenarios,
+                rng=generator,
+                overhead_model=self._overhead_model,
+                vectorize=vectorize,
+            )
+        )

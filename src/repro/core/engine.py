@@ -1,0 +1,551 @@
+"""Vectorised batch execution of ``PS || Γ``: many cycles as NumPy kernels.
+
+The scalar loop of :func:`repro.core.controller.run_cycle` pays Python
+interpreter cost for every action of every cycle — manager call, overhead
+charge, scenario read, float accumulation.  The paper's table-driven managers
+make the *per-action management cost* a small constant, which means all of
+that per-action work is mechanically the same across cycles: a batch of
+cycles can execute in lockstep, one NumPy operation per action covering every
+cycle at once.
+
+The engine works in three parts:
+
+* **decision kernels** — each table-driven manager is lowered once into a
+  :class:`DecisionKernel`: the quality choice becomes an interval lookup via
+  :func:`numpy.searchsorted` over the pre-computed ``t^D`` boundaries of the
+  :class:`~repro.core.tdtable.TDTable` (the quality regions of Proposition 2),
+  and the relaxation step choice becomes masked comparisons against the
+  stored :class:`~repro.core.relaxation.RelaxationTable` bounds;
+* **the lockstep executor** — :func:`run_cycles_vectorized` advances every
+  cycle of the batch by exactly one action per iteration, so the per-cycle
+  sequence of floating-point additions (overhead, then one duration per
+  action) is *identical* to the scalar loop and the resulting
+  :class:`~repro.core.system.CycleOutcome` batches are bit-identical;
+* **the dispatcher** — :func:`run_cycles_batch` draws scenarios through the
+  batched :meth:`~repro.core.system.ParameterizedSystem.draw_scenarios` API
+  and picks the vectorised path when a kernel exists, falling back to the
+  scalar loop (same results, slower) for managers with no kernel — the
+  numeric manager, the adaptive baselines, the extension managers — or for
+  overhead models that do not declare deterministic charges.
+
+Determinism contract: for any manager/overhead/scenario combination, the
+outcomes returned by this module are bit-identical to a sequence of scalar
+:func:`~repro.core.controller.run_cycle` calls on the same scenarios.
+Overhead-model bookkeeping is preserved through a bulk hook: charges are
+pre-computed per distinct work record via ``cost_of`` instead of calling
+``charge`` once per invocation, and after the batch the exact invocation
+counts are replayed through ``charge_batch(work, count)`` when the model
+exposes it (the built-in models do); a model with neither hook simply does
+not see the individual calls.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from .controller import OverheadModelProtocol, run_cycle
+from .manager import ManagerWork, QualityManager
+from .regions import RegionQualityManager
+from .relaxation import RelaxationQualityManager
+from .system import CycleOutcome, ParameterizedSystem
+from .timing import ActualTimeScenario
+
+__all__ = [
+    "EngineError",
+    "DecisionKernel",
+    "coerce_vectorize_mode",
+    "overhead_model_vectorizable",
+    "compile_decision_kernel",
+    "supports_vectorized",
+    "scenarios_vectorizable",
+    "run_cycles_vectorized",
+    "run_cycles_batch",
+]
+
+#: accepted values of the ``vectorize`` switch after coercion
+_MODES = ("auto", "always", "never")
+
+
+class EngineError(ValueError):
+    """Invalid engine input, or ``vectorize="always"`` without a kernel."""
+
+
+def coerce_vectorize_mode(value: object) -> str:
+    """Normalise a ``vectorize`` switch to ``"auto"``/``"always"``/``"never"``.
+
+    ``True`` means ``"always"`` (raise when no kernel exists), ``False`` means
+    ``"never"`` (scalar loop), ``None`` means ``"auto"`` (vectorise when the
+    manager/overhead pair supports it — the recommended default).
+    """
+    if value is None:
+        return "auto"
+    if value is True:
+        return "always"
+    if value is False:
+        return "never"
+    if isinstance(value, str) and value in _MODES:
+        return value
+    raise EngineError(
+        f"vectorize must be one of {_MODES}, True, False or None, got {value!r}"
+    )
+
+
+@runtime_checkable
+class DecisionKernel(Protocol):
+    """A manager lowered into batch decisions over pre-computed tables.
+
+    ``decide_batch(state_index, times)`` answers, for every cycle currently
+    deciding at ``state_index`` with elapsed time ``times[c]``, the 0-based
+    quality row, the relaxation step count and the overhead charge of that
+    invocation — the vectorised equivalent of one
+    :meth:`~repro.core.manager.QualityManager.decide` call per cycle.
+    """
+
+    def decide_batch(
+        self, state_index: int, times: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, steps, overheads)`` arrays, one entry per time."""
+        ...
+
+
+def overhead_model_vectorizable(model: OverheadModelProtocol | None) -> bool:
+    """True when charges can be pre-computed per distinct work record.
+
+    The engine calls ``cost_of(work)`` once per work record the kernel can
+    emit instead of ``charge(work)`` once per invocation; that is only valid
+    for models declaring ``deterministic_charges`` (a pure function of the
+    work record), e.g. :class:`~repro.platform.overhead.LinearOverheadModel`.
+    """
+    if model is None:
+        return True
+    return bool(getattr(model, "deterministic_charges", False)) and hasattr(
+        model, "cost_of"
+    )
+
+
+def _charge_for(model: OverheadModelProtocol | None, work: ManagerWork) -> float:
+    """The pre-computed cost of one invocation performing ``work``."""
+    if model is None:
+        return 0.0
+    return float(model.cost_of(work))  # type: ignore[attr-defined]
+
+
+def _ascending_boundaries(td_values: np.ndarray) -> np.ndarray | None:
+    """Per-state ``t^D`` boundaries as ascending rows for ``searchsorted``.
+
+    Returns a ``(n_states, n_levels)`` array whose row ``i`` holds the
+    state's boundaries lowest-quality-last (ascending), or ``None`` when the
+    columns are not non-increasing in quality — the interval-lookup kernel
+    then would not reproduce the scalar "last eligible level" rule and the
+    caller must fall back to the scalar loop.
+    """
+    if td_values.shape[0] > 1 and not bool(np.all(np.diff(td_values, axis=0) <= 0.0)):
+        return None
+    return np.ascontiguousarray(td_values[::-1].T)
+
+
+def _choose_rows(
+    boundaries: np.ndarray, n_levels: int, state_index: int, times: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quality rows by interval lookup: ``max { q | t^D(s_i, q) >= t }``.
+
+    ``boundaries[state_index]`` is ascending, so the eligible levels form a
+    suffix; ``searchsorted`` finds its first entry ``>= t`` and the count of
+    eligible levels follows.  Returns ``(rows, late)`` where late cycles
+    (no eligible level) fall back to row 0 — the minimal quality, exactly
+    :meth:`TDTable.choose_quality`'s best-effort rule.
+    """
+    first = np.searchsorted(boundaries[state_index], times, side="left")
+    counts = n_levels - first
+    late = counts == 0
+    rows = np.where(late, 0, counts - 1)
+    return rows, late
+
+
+class _FixedWorkKernel:
+    """Shared invocation accounting for kernels with one distinct work record."""
+
+    def __init__(self, work: ManagerWork, charge: float) -> None:
+        self._work = work
+        self._charge = float(charge)
+        self._invocations = 0
+
+    def reset_accounting(self) -> None:
+        self._invocations = 0
+
+    def accounting(self) -> list[tuple[ManagerWork, int]]:
+        """Invocation count per distinct work record since the last reset."""
+        return [(self._work, self._invocations)]
+
+
+class _ConstantKernel(_FixedWorkKernel):
+    """Kernel for the constant-quality baseline (fixed row, fixed charge)."""
+
+    def __init__(
+        self,
+        row: int,
+        consult_every_action: bool,
+        horizon: int | None,
+        work: ManagerWork,
+        charge: float,
+    ) -> None:
+        super().__init__(work, charge)
+        self._row = int(row)
+        self._consult = bool(consult_every_action)
+        self._horizon = horizon
+
+    def decide_batch(
+        self, state_index: int, times: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        count = times.shape[0]
+        self._invocations += count
+        rows = np.full(count, self._row, dtype=np.intp)
+        if self._consult:
+            steps = np.ones(count, dtype=np.int64)
+        else:
+            remaining = (self._horizon - state_index) if self._horizon else 10**9
+            steps = np.full(count, max(1, remaining), dtype=np.int64)
+        overheads = np.full(count, self._charge, dtype=np.float64)
+        return rows, steps, overheads
+
+
+class _RegionKernel(_FixedWorkKernel):
+    """Kernel for the quality-region manager: one interval lookup per cycle."""
+
+    def __init__(
+        self, boundaries: np.ndarray, n_levels: int, work: ManagerWork, charge: float
+    ) -> None:
+        super().__init__(work, charge)
+        self._boundaries = boundaries
+        self._n_levels = int(n_levels)
+
+    def decide_batch(
+        self, state_index: int, times: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        self._invocations += times.shape[0]
+        rows, _ = _choose_rows(self._boundaries, self._n_levels, state_index, times)
+        steps = np.ones(times.shape[0], dtype=np.int64)
+        overheads = np.full(times.shape[0], self._charge, dtype=np.float64)
+        return rows, steps, overheads
+
+
+class _RelaxationKernel:
+    """Kernel for the relaxation manager: region lookup + stored ``R^r_q`` bounds.
+
+    ``lower``/``upper`` hold one ``(n_states, n_levels)`` array per step of
+    ``step_values`` (ascending); the step choice scans them in ascending
+    order and keeps the largest containing region, exactly
+    :meth:`RelaxationTable.max_relaxation`.
+    """
+
+    def __init__(
+        self,
+        boundaries: np.ndarray,
+        n_levels: int,
+        step_values: Sequence[int],
+        lower: Sequence[np.ndarray],
+        upper: Sequence[np.ndarray],
+        work: ManagerWork,
+        charge: float,
+        late_work: ManagerWork,
+        late_charge: float,
+    ) -> None:
+        self._boundaries = boundaries
+        self._n_levels = int(n_levels)
+        self._steps = tuple(int(r) for r in step_values)
+        self._lower = tuple(lower)
+        self._upper = tuple(upper)
+        self._work = work
+        self._charge = float(charge)
+        self._late_work = late_work
+        self._late_charge = float(late_charge)
+        self._invocations = 0
+        self._late_invocations = 0
+
+    def reset_accounting(self) -> None:
+        self._invocations = 0
+        self._late_invocations = 0
+
+    def accounting(self) -> list[tuple[ManagerWork, int]]:
+        """Invocation count per distinct work record since the last reset."""
+        return [
+            (self._work, self._invocations),
+            (self._late_work, self._late_invocations),
+        ]
+
+    def decide_batch(
+        self, state_index: int, times: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        rows, late = _choose_rows(self._boundaries, self._n_levels, state_index, times)
+        steps = np.ones(times.shape[0], dtype=np.int64)
+        live = ~late
+        n_late = int(late.sum())
+        self._late_invocations += n_late
+        self._invocations += times.shape[0] - n_late
+        for r, lower, upper in zip(self._steps, self._lower, self._upper):
+            if r <= 1:
+                continue  # the scalar scan never improves on the initial best of 1
+            low = lower[state_index][rows]
+            high = upper[state_index][rows]
+            contained = live & (low < times) & (times <= high)
+            steps[contained] = r
+        overheads = np.where(late, self._late_charge, self._charge)
+        return rows, steps, overheads
+
+
+def compile_decision_kernel(
+    manager: QualityManager,
+    overhead_model: OverheadModelProtocol | None = None,
+) -> DecisionKernel | None:
+    """Lower a manager into a :class:`DecisionKernel`, or ``None``.
+
+    ``None`` means the scalar loop must be used: the manager is not one of
+    the table-driven implementations (exact types only — subclasses may
+    override ``decide`` arbitrarily), its ``t^D`` table is not monotone in
+    quality, or the overhead model's charges cannot be pre-computed.
+    """
+    if not overhead_model_vectorizable(overhead_model):
+        return None
+    from repro.baselines.constant import ConstantQualityManager
+
+    n_levels = len(manager.qualities)
+    if type(manager) is ConstantQualityManager:
+        work = ManagerWork(kind=manager.name, comparisons=0, table_lookups=1)
+        return _ConstantKernel(
+            manager.qualities.index_of(manager.level),
+            manager.consults_every_action,
+            manager.horizon,
+            work,
+            _charge_for(overhead_model, work),
+        )
+    if type(manager) is RegionQualityManager:
+        boundaries = _ascending_boundaries(manager.regions.td_table.values)
+        if boundaries is None:
+            return None
+        work = ManagerWork(
+            kind=manager.name,
+            arithmetic_ops=0,
+            comparisons=n_levels,
+            table_lookups=n_levels,
+        )
+        return _RegionKernel(
+            boundaries, n_levels, work, _charge_for(overhead_model, work)
+        )
+    if type(manager) is RelaxationQualityManager:
+        table = manager.relaxation
+        boundaries = _ascending_boundaries(table.td_table.values)
+        if boundaries is None:
+            return None
+        n_rho = len(table.steps)
+        work = ManagerWork(
+            kind=manager.name,
+            comparisons=n_levels + 2 * n_rho,
+            table_lookups=n_levels + 2 * n_rho,
+        )
+        late_work = ManagerWork(
+            kind=manager.name, comparisons=n_levels, table_lookups=n_levels
+        )
+        return _RelaxationKernel(
+            boundaries,
+            n_levels,
+            table.steps,
+            [np.ascontiguousarray(table.lower_bounds(r).T) for r in table.steps],
+            [np.ascontiguousarray(table.upper_bounds(r).T) for r in table.steps],
+            work,
+            _charge_for(overhead_model, work),
+            late_work,
+            _charge_for(overhead_model, late_work),
+        )
+    return None
+
+
+def supports_vectorized(
+    manager: QualityManager,
+    overhead_model: OverheadModelProtocol | None = None,
+) -> bool:
+    """True when the manager/overhead pair lowers to a decision kernel."""
+    return compile_decision_kernel(manager, overhead_model) is not None
+
+
+def scenarios_vectorizable(
+    system: ParameterizedSystem, scenarios: Sequence[ActualTimeScenario]
+) -> bool:
+    """True when every scenario indexes by the system's own quality set.
+
+    The kernels translate quality rows through the *system's* quality set;
+    a scenario drawn for a different (e.g. wider) set is still executable by
+    the scalar loop, which uses the scenario's own level-to-row mapping.
+    """
+    return all(scenario.qualities == system.qualities for scenario in scenarios)
+
+
+def _stacked_matrices(
+    system: ParameterizedSystem, scenarios: Sequence[ActualTimeScenario]
+) -> np.ndarray:
+    """Validate a scenario batch and stack it into ``(n_cycles, levels, actions)``."""
+    for scenario in scenarios:
+        if scenario.n_actions != system.n_actions:
+            raise ValueError(
+                f"scenario covers {scenario.n_actions} actions, "
+                f"system has {system.n_actions}"
+            )
+        if scenario.qualities != system.qualities:
+            raise EngineError(
+                "vectorised execution requires scenarios drawn for the system's "
+                f"quality set; got {scenario.qualities!r} vs {system.qualities!r}"
+            )
+    return np.stack([scenario.matrix for scenario in scenarios])
+
+
+def run_cycles_vectorized(
+    system: ParameterizedSystem,
+    manager: QualityManager,
+    scenarios: Sequence[ActualTimeScenario],
+    *,
+    overhead_model: OverheadModelProtocol | None = None,
+    kernel: DecisionKernel | None = None,
+) -> tuple[CycleOutcome, ...]:
+    """Execute a batch of cycles through the lockstep vectorised engine.
+
+    All cycles advance one action per iteration, so every cycle performs the
+    exact floating-point operation sequence of the scalar loop (overhead
+    added at each invocation, one duration added per action) and the
+    returned outcomes are bit-identical to per-cycle
+    :func:`~repro.core.controller.run_cycle` calls.  Raises
+    :class:`EngineError` when the manager has no kernel.
+    """
+    if kernel is None:
+        kernel = compile_decision_kernel(manager, overhead_model)
+        if kernel is None:
+            raise EngineError(
+                f"manager {manager.name!r} (with this overhead model) has no "
+                "vectorised decision kernel; use run_cycles_batch for automatic "
+                "scalar fallback"
+            )
+    if not scenarios:
+        return ()
+    matrices = _stacked_matrices(system, scenarios)
+    n_cycles = matrices.shape[0]
+    n_actions = system.n_actions
+    level_minimum = system.qualities.minimum
+    manager.reset()
+    reset_accounting = getattr(kernel, "reset_accounting", None)
+    if reset_accounting is not None:
+        reset_accounting()
+
+    qualities = np.empty((n_cycles, n_actions), dtype=np.int64)
+    durations = np.empty((n_cycles, n_actions), dtype=np.float64)
+    completion = np.empty((n_cycles, n_actions), dtype=np.float64)
+    invoked = np.zeros((n_actions, n_cycles), dtype=bool)
+    invocation_overheads = np.zeros((n_actions, n_cycles), dtype=np.float64)
+
+    elapsed = np.zeros(n_cycles, dtype=np.float64)
+    remaining = np.zeros(n_cycles, dtype=np.int64)  # actions left in the window
+    rows = np.zeros(n_cycles, dtype=np.intp)
+    cycle_index = np.arange(n_cycles)
+
+    for i in range(n_actions):
+        deciding = remaining == 0
+        if deciding.any():
+            times = elapsed[deciding]
+            decided_rows, decided_steps, decided_overheads = kernel.decide_batch(
+                i, times
+            )
+            rows[deciding] = decided_rows
+            remaining[deciding] = np.minimum(decided_steps, n_actions - i)
+            elapsed[deciding] = times + decided_overheads
+            invoked[i] = deciding
+            invocation_overheads[i, deciding] = decided_overheads
+        step_durations = matrices[cycle_index, rows, i]
+        elapsed += step_durations
+        durations[:, i] = step_durations
+        completion[:, i] = elapsed
+        qualities[:, i] = level_minimum + rows
+        remaining -= 1
+
+    if overhead_model is not None:
+        # replay the invocation accounting in bulk: models exposing the
+        # charge_batch hook see exact call counts per distinct work record
+        charge_batch = getattr(overhead_model, "charge_batch", None)
+        accounting = getattr(kernel, "accounting", None)
+        if charge_batch is not None and accounting is not None:
+            for work, count in accounting():
+                if count:
+                    charge_batch(work, count)
+
+    states = np.arange(n_actions, dtype=np.int64)
+    outcomes = []
+    for c in range(n_cycles):
+        mask = invoked[:, c]
+        outcomes.append(
+            CycleOutcome(
+                qualities=qualities[c],
+                durations=durations[c],
+                completion_times=completion[c],
+                manager_invocations=states[mask],
+                manager_overheads=invocation_overheads[mask, c],
+            )
+        )
+    return tuple(outcomes)
+
+
+def run_cycles_batch(
+    system: ParameterizedSystem,
+    manager: QualityManager,
+    cycles: int | None = None,
+    *,
+    scenarios: Sequence[ActualTimeScenario] | None = None,
+    rng: np.random.Generator | None = None,
+    overhead_model: OverheadModelProtocol | None = None,
+    vectorize: object = "auto",
+) -> tuple[CycleOutcome, ...]:
+    """Execute a batch of cycles, vectorised when possible.
+
+    The batch entry point used by :class:`~repro.api.session.Session` and the
+    :mod:`~repro.runtime.pool` workers.  ``scenarios`` fixes the actual times
+    of every cycle; when omitted, ``cycles`` scenarios are drawn up-front via
+    the batched :meth:`~repro.core.system.ParameterizedSystem.draw_scenarios`
+    API (bit-identical to the scalar loop's per-cycle draws, including the
+    sampler-state advancement).  ``vectorize`` is ``"auto"`` (kernel when
+    available, scalar otherwise), ``"always"``/``True`` (raise without a
+    kernel) or ``"never"``/``False`` (scalar loop).
+    """
+    mode = coerce_vectorize_mode(vectorize)
+    if scenarios is None:
+        if cycles is None:
+            raise EngineError("pass a cycle count or an explicit scenario batch")
+        if int(cycles) < 0:
+            raise EngineError(f"cycles must be >= 0, got {cycles}")
+        generator = rng if rng is not None else np.random.default_rng(0)
+        scenarios = system.draw_scenarios(int(cycles), generator)
+    else:
+        scenarios = tuple(scenarios)
+        if cycles is not None and len(scenarios) != int(cycles):
+            raise EngineError(
+                f"expected {cycles} scenarios, got {len(scenarios)}"
+            )
+    kernel = None
+    if mode != "never":
+        kernel = compile_decision_kernel(manager, overhead_model)
+        if kernel is None and mode == "always":
+            raise EngineError(
+                f"manager {manager.name!r} (with this overhead model) has no "
+                "vectorised decision kernel"
+            )
+        if kernel is not None and not scenarios_vectorizable(system, scenarios):
+            if mode == "always":
+                raise EngineError(
+                    "vectorised execution requires scenarios drawn for the "
+                    "system's quality set"
+                )
+            kernel = None  # the scalar loop handles foreign quality sets
+    if kernel is not None:
+        return run_cycles_vectorized(
+            system, manager, scenarios, overhead_model=overhead_model, kernel=kernel
+        )
+    return tuple(
+        run_cycle(system, manager, scenario=scenario, overhead_model=overhead_model)
+        for scenario in scenarios
+    )

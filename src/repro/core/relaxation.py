@@ -185,6 +185,22 @@ class RelaxationTable:
         """Number of states with a next action."""
         return self._td.n_states
 
+    def upper_bounds(self, r: int) -> np.ndarray:
+        """Read-only ``(n_levels, n_states)`` upper bounds ``t^{D,r}`` for one step.
+
+        Raw material of the vectorised decision kernels
+        (:mod:`repro.core.engine`); ``-inf`` marks unreachable states.
+        """
+        if r not in self._upper:
+            raise KeyError(f"relaxation step count {r} not in ρ = {self._steps}")
+        return self._upper[r]
+
+    def lower_bounds(self, r: int) -> np.ndarray:
+        """Read-only ``(n_levels, n_states)`` lower bounds for one step count."""
+        if r not in self._lower:
+            raise KeyError(f"relaxation step count {r} not in ρ = {self._steps}")
+        return self._lower[r]
+
     def bounds(self, state_index: int, quality: int, r: int) -> tuple[float, float]:
         """``(lower, upper)`` bounds of ``R^r_q`` at state ``s_i``.
 

@@ -227,6 +227,17 @@ class ParameterizedSystem:
         """Draw the actual execution times of one cycle (all levels x actions)."""
         return self._timing.sample_scenario(rng)
 
+    def draw_scenarios(
+        self, count: int, rng: np.random.Generator
+    ) -> tuple[ActualTimeScenario, ...]:
+        """Draw the actual times of ``count`` consecutive cycles, batched.
+
+        Bit-identical to ``count`` successive :meth:`draw_scenario` calls
+        (same rng consumption, same sampler-state advancement); see
+        :meth:`TimingModel.sample_scenarios <repro.core.timing.TimingModel.sample_scenarios>`.
+        """
+        return self._timing.sample_scenarios(count, rng)
+
     def sample_actual_times(
         self,
         qualities: Sequence[int] | np.ndarray,

@@ -284,6 +284,11 @@ class ActualTimeScenario:
         self._matrix.setflags(write=False)
 
     @property
+    def qualities(self) -> QualitySet:
+        """The quality set indexing the rows."""
+        return self._qualities
+
+    @property
     def matrix(self) -> np.ndarray:
         """Read-only ``(levels, actions)`` matrix of actual times."""
         return self._matrix
@@ -380,6 +385,51 @@ class TimingModel:
         # the worst case itself is not strictly increasing; clip again.
         monotone = np.minimum(monotone, self.worst_case.values)
         return ActualTimeScenario(self.qualities, monotone)
+
+    def sample_scenarios(
+        self,
+        count: int,
+        rng: np.random.Generator,
+    ) -> tuple[ActualTimeScenario, ...]:
+        """Draw the actual execution times of ``count`` consecutive cycles.
+
+        Bit-identical to ``count`` successive :meth:`sample_scenario` calls —
+        the same random variates in the same order, the same sampler-state
+        advancement for stateful samplers — but batched: samplers exposing a
+        ``sample_batch(count, rng)`` method (e.g.
+        :class:`~repro.media.timing_model.FrameScenarioSampler`) produce one
+        ``(count, levels, actions)`` array and the Definition 1 enforcement
+        (clip into ``[0, C^wc]``, running maximum along quality) is applied
+        to the whole batch in one pass.  This is the draw API the vectorised
+        cycle engine (:mod:`repro.core.engine`) stacks into its scenario
+        tensor.
+        """
+        count = int(count)
+        if count < 0:
+            raise ValueError(f"scenario count must be >= 0, got {count}")
+        if count == 0:
+            return ()
+        if self._sampler is None:
+            # actual times equal the averages: every cycle sees one identical,
+            # already-validated matrix — share a single scenario object
+            return (self.sample_scenario(rng),) * count
+        batch_sampler = getattr(self._sampler, "sample_batch", None)
+        if batch_sampler is None:
+            return tuple(self.sample_scenario(rng) for _ in range(count))
+        raw = np.asarray(batch_sampler(count, rng), dtype=np.float64)
+        expected = (count, *self.worst_case.values.shape)
+        if raw.shape != expected:
+            raise InvalidTimingError(
+                f"batch scenario sampler must return a {expected} array, "
+                f"got shape {raw.shape}"
+            )
+        ceiling = self.worst_case.values[None, :, :]
+        clipped = np.clip(raw, 0.0, ceiling)
+        monotone = np.minimum(np.maximum.accumulate(clipped, axis=1), ceiling)
+        return tuple(
+            ActualTimeScenario(self.qualities, monotone[index])
+            for index in range(count)
+        )
 
     def sample_actual(
         self,

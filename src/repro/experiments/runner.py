@@ -58,6 +58,7 @@ def run_all_experiments(
     seed: int = 0,
     workload: EncoderWorkload | None = None,
     workers: int | None = None,
+    vectorize: str = "auto",
 ) -> ExperimentSuiteResult:
     """Run experiments E1–E5 and return their results.
 
@@ -65,6 +66,10 @@ def run_all_experiments(
     shapes (orderings, matches) are preserved, only the scale changes.
     ``workers`` routes the manager comparisons of E2/E3 through the
     :mod:`repro.runtime` sweep pool (results are bit-identical to serial).
+    ``vectorize`` selects the cycle engine for the session-driven
+    experiments — ``"auto"`` (default) batch-executes the table-driven
+    managers through :mod:`repro.core.engine`, ``"never"`` forces the scalar
+    loop; either way the artefacts are bit-identical.
     """
     if workload is not None:
         wl = workload
@@ -79,7 +84,7 @@ def run_all_experiments(
     memory = run_memory_experiment(paper_encoder(seed=seed), seed=seed)
     # E2 and E3 share one facade session: the symbolic tables are compiled
     # once and reused from the session's cache across both experiments.
-    session = Session().system(wl).seed(seed)
+    session = Session().system(wl).seed(seed).vectorize(vectorize)
     if workers is not None:
         session.parallel(workers)
     overhead = run_overhead_experiment(wl, n_frames=n_frames, seed=seed, session=session)
@@ -102,9 +107,18 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="run the manager comparisons through the sweep pool with N workers",
     )
+    parser.add_argument(
+        "--vectorize",
+        choices=("auto", "always", "never"),
+        default="auto",
+        help="cycle engine: vectorised NumPy kernels (auto/always) or the scalar loop",
+    )
     arguments = parser.parse_args(argv)
     result = run_all_experiments(
-        fast=arguments.fast, seed=arguments.seed, workers=arguments.workers
+        fast=arguments.fast,
+        seed=arguments.seed,
+        workers=arguments.workers,
+        vectorize=arguments.vectorize,
     )
     print(result.render())
     return 0

@@ -204,6 +204,24 @@ class FrameScenarioSampler:
         """The frame content a given cycle index will encode."""
         return self._frames[cycle_index % len(self._frames)]
 
+    def sample_batch(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Raw actual-time matrices of the next ``count`` frames, stacked.
+
+        The batched draw API consumed by
+        :meth:`repro.core.timing.TimingModel.sample_scenarios`: one
+        ``(count, levels, actions)`` array covering the next ``count`` frames
+        of the sequence, consuming the rng and advancing the cursor exactly
+        like ``count`` single draws.
+        """
+        count = int(count)
+        if count < 0:
+            raise ValueError(f"batch size must be >= 0, got {count}")
+        if count == 0:
+            n_levels = len(self._model.qualities)
+            n_actions = len(self._model.pipeline.action_stages())
+            return np.empty((0, n_levels, n_actions), dtype=np.float64)
+        return np.stack([self(rng) for _ in range(count)])
+
     def __call__(self, rng: np.random.Generator) -> np.ndarray:
         frame = self._frames[self._cursor % len(self._frames)]
         self._cursor += 1

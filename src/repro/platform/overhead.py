@@ -105,6 +105,11 @@ class LinearOverheadModel:
     split per manager kind without re-instrumenting the executor.
     """
 
+    #: ``cost_of`` is a pure function of the work record, which lets the
+    #: vectorised cycle engine (:mod:`repro.core.engine`) pre-compute one
+    #: charge per distinct record instead of calling ``charge`` per invocation
+    deterministic_charges = True
+
     def __init__(self, parameters: OverheadParameters = IPOD_LIKE) -> None:
         self._parameters = parameters
         self._accounting = _Accounting()
@@ -158,9 +163,35 @@ class LinearOverheadModel:
         acc.per_kind_calls[work.kind] = acc.per_kind_calls.get(work.kind, 0) + 1
         return cost
 
+    def charge_batch(self, work: ManagerWork, count: int) -> float:
+        """Charge ``count`` identical invocations in one accounting update.
+
+        The bulk hook used by the vectorised cycle engine
+        (:mod:`repro.core.engine`), which pre-computes one cost per distinct
+        work record: call counts stay exact, while the accumulated seconds
+        are ``count * cost`` (one multiply instead of ``count`` additions —
+        equal to the scalar path up to float summation order).  Returns the
+        per-invocation cost.
+        """
+        count = int(count)
+        if count < 0:
+            raise ValueError(f"invocation count must be >= 0, got {count}")
+        cost = self.cost_of(work)
+        acc = self._accounting
+        acc.calls += count
+        acc.total_seconds += cost * count
+        acc.per_kind_seconds[work.kind] = (
+            acc.per_kind_seconds.get(work.kind, 0.0) + cost * count
+        )
+        acc.per_kind_calls[work.kind] = acc.per_kind_calls.get(work.kind, 0) + count
+        return cost
+
 
 class NullOverheadModel:
     """An overhead model that charges nothing (the idealised semantics)."""
+
+    #: see :attr:`LinearOverheadModel.deterministic_charges`
+    deterministic_charges = True
 
     def __init__(self) -> None:
         self.calls = 0
@@ -168,6 +199,14 @@ class NullOverheadModel:
     def charge(self, work: ManagerWork) -> float:
         """Record the call and charge zero time."""
         self.calls += 1
+        return 0.0
+
+    def charge_batch(self, work: ManagerWork, count: int) -> float:
+        """Record ``count`` calls at once (see :meth:`LinearOverheadModel.charge_batch`)."""
+        count = int(count)
+        if count < 0:
+            raise ValueError(f"invocation count must be >= 0, got {count}")
+        self.calls += count
         return 0.0
 
     def cost_of(self, work: ManagerWork) -> float:

@@ -93,6 +93,9 @@ class ExecutionPayload:
     or a custom model) and is resolved worker-side with the same rules the
     session uses.  ``cache_dir`` points at the compiled-artifact cache the
     workers hydrate from; ``None`` means each worker compiles locally.
+    ``vectorize`` carries the session's engine selection
+    (``"auto"``/``"always"``/``"never"``) so every worker runs its chunk
+    through the same vectorised-or-scalar path the serial baseline would.
     """
 
     system: ParameterizedSystem
@@ -103,6 +106,7 @@ class ExecutionPayload:
     machine: Any = None  # repro.platform.machine.Machine | None
     overhead: Any = None
     cache_dir: str | None = None
+    vectorize: str = "auto"
 
 
 @dataclass(frozen=True)

@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.api.registry import BuildContext, build_manager
 from repro.core.compiler import CompiledControllers, QualityManagerCompiler
-from repro.core.controller import run_cycle
+from repro.core.engine import run_cycles_batch
 from repro.core.system import CycleOutcome
 
 from .artifacts import CompiledArtifactCache
@@ -155,17 +155,22 @@ class _WorkerRuntime:
         )
 
     def execute(self, unit: SweepUnit) -> tuple[str, tuple[CycleOutcome, ...]]:
-        """Run one unit and return ``(manager_name, outcomes)``."""
+        """Run one unit and return ``(manager_name, outcomes)``.
+
+        Units run through :func:`~repro.core.engine.run_cycles_batch`: each
+        shard executes its chunk vectorised when the unit's manager lowers to
+        a decision kernel, and through the scalar loop otherwise — in both
+        cases bit-identical to the serial baseline.
+        """
         manager = build_manager(unit.manager, self._context())
+        vectorize = getattr(self._payload, "vectorize", "auto")
         if unit.scenarios is not None:
-            outcomes = tuple(
-                run_cycle(
-                    self._exec_system,
-                    manager,
-                    scenario=scenario,
-                    overhead_model=self._overhead_model,
-                )
-                for scenario in unit.scenarios
+            outcomes = run_cycles_batch(
+                self._exec_system,
+                manager,
+                scenarios=unit.scenarios,
+                overhead_model=self._overhead_model,
+                vectorize=vectorize,
             )
             return manager.name, outcomes
         if (
@@ -174,15 +179,13 @@ class _WorkerRuntime:
             and hasattr(self._sampler, "seek")
         ):
             self._sampler.seek(self._base_cursor + unit.sampler_offset)
-        rng = np.random.default_rng(unit.seed)
-        outcomes = tuple(
-            run_cycle(
-                self._exec_system,
-                manager,
-                rng=rng,
-                overhead_model=self._overhead_model,
-            )
-            for _ in range(unit.cycles)
+        outcomes = run_cycles_batch(
+            self._exec_system,
+            manager,
+            unit.cycles,
+            rng=np.random.default_rng(unit.seed),
+            overhead_model=self._overhead_model,
+            vectorize=vectorize,
         )
         return manager.name, outcomes
 
