@@ -1,0 +1,145 @@
+"""Columnar scenario pipeline gates: draw throughput and transport cost.
+
+Two claims of the :class:`~repro.core.timing.ScenarioBatch` pipeline are
+asserted here at paper scale (the CIF encoder: 1,189 actions, 7 quality
+levels):
+
+* the batched scenario draw (`draw_scenarios` → the vectorised
+  `FrameScenarioSampler.sample_batch` kernel) is **>= 5x** faster than the
+  per-cycle `draw_scenario` loop on a 4,096-cycle batch, and bit-identical
+  to it — the speedup is pure interpreter-overhead removal;
+* the parallel ``compare`` transports are measured per work unit: the
+  ship-by-value tensor (`plan_compare`), the legacy tuple-of-objects shape
+  it replaced, and the re-draw recipe (`plan_compare_redraw`) that ships no
+  scenario data at all.
+
+The measurements are written to ``BENCH_scenarios.json`` (cycles per second
+for each path, speedups, transport bytes per unit, environment info) in the
+same schema spirit as ``BENCH_engine.json``; CI uploads the file as an
+artifact.  Set ``$BENCH_SCENARIOS_JSON`` to redirect the output path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import platform
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.api.registry import ManagerSpec
+from repro.runtime.plan import ExecutionPayload, plan_compare, plan_compare_redraw
+
+_N_CYCLES = 4096
+_N_TRANSPORT_CYCLES = 256  # pickling a 4k-cycle tensor would measure only RAM
+_MIN_SPEEDUP = 5.0
+#: scalar baselines below this are timer noise — the ratio would be meaningless
+_MIN_MEASURABLE_SCALAR_S = 0.050
+
+
+def _report_path() -> str:
+    return os.environ.get("BENCH_SCENARIOS_JSON", "BENCH_scenarios.json")
+
+
+def _write_report(payload: dict) -> None:
+    with open(_report_path(), "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def bench_scenario_pipeline(paper_workload, paper_deadlines):
+    """4,096 paper-scale draws: the batched kernel beats the per-cycle loop >= 5x."""
+    batched_system = paper_workload.build_system()
+    scalar_system = paper_workload.build_system()
+
+    started = time.perf_counter()
+    batch = batched_system.draw_scenarios(_N_CYCLES, np.random.default_rng(0))
+    batched_s = time.perf_counter() - started
+
+    rng = np.random.default_rng(0)
+    started = time.perf_counter()
+    scalar = [scalar_system.draw_scenario(rng) for _ in range(_N_CYCLES)]
+    scalar_s = time.perf_counter() - started
+
+    assert all(
+        np.array_equal(batch[index].matrix, scenario.matrix)
+        for index, scenario in enumerate(scalar)
+    ), "batched draws differ from the per-cycle loop"
+    assert (
+        batched_system.timing.scenario_sampler.cursor
+        == scalar_system.timing.scenario_sampler.cursor
+        == _N_CYCLES
+    ), "batched draws advance the frame stream differently from the scalar loop"
+    del scalar
+
+    draw = {
+        "scalar_seconds": scalar_s,
+        "batched_seconds": batched_s,
+        "scalar_cycles_per_sec": _N_CYCLES / scalar_s,
+        "batched_cycles_per_sec": _N_CYCLES / batched_s,
+        "speedup": scalar_s / batched_s,
+        "tensor_mbytes": batch.nbytes() / 1e6,
+    }
+
+    # compare-transport cost per work unit, at a pickle-friendly cycle count
+    payload = ExecutionPayload(
+        system=batched_system,
+        deadlines=paper_deadlines,
+        policy=None,
+        relaxation_steps=(1, 10),
+        require_feasible=True,
+    )
+    transport_batch = batched_system.draw_scenarios(
+        _N_TRANSPORT_CYCLES, np.random.default_rng(1)
+    )
+    value_unit = plan_compare(payload, [ManagerSpec("region")], transport_batch).units[0]
+    redraw_unit = plan_compare_redraw(
+        payload, [ManagerSpec("region")], _N_TRANSPORT_CYCLES, 0
+    ).units[0]
+    tuple_bytes = len(pickle.dumps(transport_batch.scenarios()))
+    value_bytes = len(pickle.dumps(value_unit))
+    redraw_bytes = len(pickle.dumps(redraw_unit))
+    transport = {
+        "cycles": _N_TRANSPORT_CYCLES,
+        "legacy_tuple_bytes": tuple_bytes,
+        "value_unit_bytes": value_bytes,
+        "redraw_unit_bytes": redraw_bytes,
+        "value_vs_redraw_ratio": value_bytes / redraw_bytes,
+    }
+
+    _write_report(
+        {
+            "benchmark": "scenario_pipeline",
+            "n_cycles": _N_CYCLES,
+            "n_actions": batched_system.n_actions,
+            "n_levels": len(batched_system.qualities),
+            "min_speedup_gate": _MIN_SPEEDUP,
+            "draw": draw,
+            "transport": transport,
+            "env": {
+                "python": sys.version.split()[0],
+                "numpy": np.__version__,
+                "platform": platform.platform(),
+                "machine": platform.machine(),
+                "cpu_count": os.cpu_count(),
+            },
+        }
+    )
+
+    assert redraw_bytes < 4096, (
+        f"a re-draw unit should ship a few plain fields, not {redraw_bytes} bytes"
+    )
+    if scalar_s < _MIN_MEASURABLE_SCALAR_S:
+        pytest.skip(
+            f"scalar baseline took only {scalar_s * 1000.0:.1f} ms — too fast on "
+            "this runner to gate a speedup ratio meaningfully"
+        )
+    assert draw["speedup"] >= _MIN_SPEEDUP, (
+        f"batched scenario drawing is only {draw['speedup']:.2f}x the per-cycle "
+        f"loop on a {_N_CYCLES}-cycle paper-scale batch "
+        f"({scalar_s:.2f} s vs {batched_s:.2f} s, gate {_MIN_SPEEDUP}x)"
+    )

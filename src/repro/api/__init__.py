@@ -43,7 +43,13 @@ from .registry import (
 )
 from .results import BatchResult, RunResult
 from .session import ScenarioSpec, Session, SessionError
-from .shims import build_baseline, compile_controllers, run_controlled
+from .shims import (
+    build_baseline,
+    compile_controllers,
+    draw_scenarios_tuple,
+    run_controlled,
+    sample_scenarios_tuple,
+)
 
 __all__ = [
     # registry
@@ -69,4 +75,6 @@ __all__ = [
     "compile_controllers",
     "build_baseline",
     "run_controlled",
+    "draw_scenarios_tuple",
+    "sample_scenarios_tuple",
 ]

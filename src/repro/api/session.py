@@ -32,12 +32,16 @@ Design contract (the three facade guarantees):
 
 By default (``vectorize="auto"``) the batched run methods execute
 table-driven managers through the vectorised cycle engine
-(:mod:`repro.core.engine`): scenarios are drawn in one batched call and the
-cycles run as NumPy kernels, bit-identical to the scalar loop but without
-its per-action Python cost.  Managers without a decision kernel (numeric,
-the adaptive baselines, the extensions) transparently use the scalar loop;
-:meth:`Session.vectorize` or the per-call ``vectorize=`` keyword force
-either path.
+(:mod:`repro.core.engine`): scenarios are drawn as one columnar
+:class:`~repro.core.timing.ScenarioBatch` tensor and the cycles run as NumPy
+kernels, bit-identical to the scalar loop but without its per-action Python
+cost.  Managers without a decision kernel (numeric, the adaptive baselines,
+the extensions) transparently use the scalar loop; :meth:`Session.vectorize`
+or the per-call ``vectorize=`` keyword force either path.  Parallel
+:meth:`Session.compare` ships its shared scenarios per work unit either by
+value (the batch tensor) or, with ``scenario_transport="redraw"``, as a
+draw recipe the workers replay — no scenario bytes cross the process
+boundary, results identical either way.
 
 Two optional :mod:`repro.runtime` integrations scale the run layer beyond one
 process:
@@ -78,7 +82,7 @@ from repro.core.manager import QualityManager
 from repro.core.policy import AveragePolicy, MixedPolicy, QualityManagementPolicy, SafePolicy
 from repro.core.relaxation import DEFAULT_RELAXATION_STEPS
 from repro.core.system import CycleOutcome, ParameterizedSystem
-from repro.core.timing import ActualTimeScenario
+from repro.core.timing import ActualTimeScenario, ScenarioBatch, supports_replay
 
 from .registry import BuildContext, ManagerSpec, build_manager, manager_info, validate_spec
 from .results import BatchResult, RunResult
@@ -142,6 +146,8 @@ _POLICIES: dict[str, type[QualityManagementPolicy]] = {
 _MACHINES = ("ipod", "fast-embedded", "desktop")
 
 _OVERHEADS = ("none", "ipod", "fast-embedded", "desktop")
+
+_TRANSPORTS = ("value", "redraw")
 
 
 @dataclass(frozen=True)
@@ -422,6 +428,7 @@ class Session:
         *,
         chunk_size: int | None = None,
         mp_context: str | None = None,
+        scenario_transport: str | None = None,
         enabled: bool = True,
     ) -> "Session":
         """Make :meth:`run_many` and :meth:`compare` default to the sweep pool.
@@ -431,16 +438,27 @@ class Session:
         ``.parallel(enabled=False)`` to return to the serial default.  See
         :class:`~repro.runtime.pool.SweepExecutor` for ``chunk_size`` and
         ``mp_context``.
+
+        ``scenario_transport`` selects how parallel :meth:`compare` ships its
+        shared scenarios to the workers: ``"value"`` (the default) pre-draws
+        them once and ships the :class:`~repro.core.timing.ScenarioBatch`
+        tensor per unit; ``"redraw"`` ships no scenario data at all — each
+        worker re-draws the identical batch from the unit's seed and
+        scenario-stream offset (requires a sampler that is stateless, absent
+        or ``seek``/``cursor``-capable; ship-by-value is used otherwise).
+        Both transports are bit-identical to the serial path.
         """
         if not enabled:
             self._parallel = None
             return self
         if workers is not None and int(workers) < 1:
             raise SessionError(f"workers must be >= 1, got {workers}")
+        self._check_transport(scenario_transport)
         self._parallel = {
             "workers": int(workers) if workers is not None else None,
             "chunk_size": chunk_size,
             "mp_context": mp_context,
+            "scenario_transport": scenario_transport,
         }
         return self
 
@@ -578,7 +596,8 @@ class Session:
     # ------------------------------------------------------------------ #
     @staticmethod
     def _check_run_args(
-        n_cycles: int, scenarios: Sequence[ActualTimeScenario] | None
+        n_cycles: int,
+        scenarios: ScenarioBatch | Sequence[ActualTimeScenario] | None,
     ) -> None:
         if n_cycles < 1:
             raise SessionError(f"cycles must be >= 1, got {n_cycles}")
@@ -590,7 +609,7 @@ class Session:
         manager: QualityManager,
         n_cycles: int,
         seed: int,
-        scenarios: Sequence[ActualTimeScenario] | None,
+        scenarios: ScenarioBatch | Sequence[ActualTimeScenario] | None,
     ) -> Iterator[CycleOutcome]:
         system = self._execution_system()
         overhead_model = self._resolve_overhead_model()
@@ -610,7 +629,7 @@ class Session:
         cycles: int | None = None,
         *,
         seed: int | None = None,
-        scenarios: Sequence[ActualTimeScenario] | None = None,
+        scenarios: ScenarioBatch | Sequence[ActualTimeScenario] | None = None,
     ) -> Iterator[CycleOutcome]:
         """Yield cycle outcomes one at a time (the streaming run layer).
 
@@ -627,7 +646,7 @@ class Session:
         cycles: int | None = None,
         *,
         seed: int | None = None,
-        scenarios: Sequence[ActualTimeScenario] | None = None,
+        scenarios: ScenarioBatch | Sequence[ActualTimeScenario] | None = None,
         vectorize: Any = None,
     ) -> RunResult:
         """Execute N cycles with the selected manager and collect the result.
@@ -666,39 +685,54 @@ class Session:
         workers: int | None = None,
         progress: Any = None,
         vectorize: Any = None,
+        scenario_transport: str | None = None,
     ) -> BatchResult:
         """Run several managers on *identical* per-cycle scenarios.
 
         This is the paper's comparison setting (Figures 7/8): the scenarios
-        are drawn once and replayed for every manager.  Without arguments it
-        compares the three compiled managers (numeric, region, relaxation).
+        are drawn once — as one columnar
+        :class:`~repro.core.timing.ScenarioBatch` — and replayed for every
+        manager.  Without arguments it compares the three compiled managers
+        (numeric, region, relaxation).
 
         ``parallel=True`` (or a configured :meth:`parallel` builder step, or
-        an explicit ``workers`` count) runs one manager per pool work unit —
-        the scenarios are still drawn serially here, so results are
-        bit-identical to the serial path.  ``progress`` is called as
-        ``progress(done, total, spec)`` after each completed manager, where
-        ``spec`` is the manager spec string (the *result* labels are the
-        managers' reporting names, de-duplicated).
+        an explicit ``workers`` count) runs one manager per pool work unit.
+        ``scenario_transport`` (default from :meth:`parallel`, else
+        ``"value"``) selects how the shared scenarios reach the workers:
+        ``"value"`` draws them here and ships the batch tensor, ``"redraw"``
+        ships only the draw recipe and each worker reproduces the identical
+        batch — both bit-identical to the serial path.  ``progress`` is
+        called as ``progress(done, total, spec)`` after each completed
+        manager, where ``spec`` is the manager spec string (the *result*
+        labels are the managers' reporting names, de-duplicated).
         """
         from repro.runtime.plan import unique_label
 
+        # validated even for serial runs: a typo'd transport should fail
+        # here, not months later when workers= is added to the call
+        self._check_transport(scenario_transport)
         chosen = [validate_spec(ManagerSpec.coerce(spec)) for spec in specs] or [
             ManagerSpec("numeric"),
             ManagerSpec("region"),
             ManagerSpec("relaxation"),
         ]
         n_cycles = self._default_cycles if cycles is None else int(cycles)
-        used_seed = self._seed if seed is None else seed
+        used_seed = self._seed if seed is None else int(seed)
         system = self._execution_system()
-        rng = np.random.default_rng(used_seed)
-        scenarios = system.draw_scenarios(n_cycles, rng)
         deadlines = self.resolved_deadlines()
         machine_name = self._machine.name if self._machine is not None else None
 
         mode = self._effective_vectorize(vectorize)
         pool_config = self._pool_config(parallel, workers)
-        if pool_config is not None and scenarios:
+        use_pool = pool_config is not None and n_cycles > 0
+        if use_pool:
+            transport = self._effective_transport(scenario_transport, pool_config)
+            if transport == "redraw" and self._redraw_supported():
+                return self._compare_parallel_redraw(
+                    chosen, n_cycles, used_seed, pool_config, progress, mode
+                )
+        scenarios = system.draw_scenarios(n_cycles, np.random.default_rng(used_seed))
+        if use_pool:
             return self._compare_parallel(
                 chosen, scenarios, used_seed, pool_config, progress, mode
             )
@@ -738,6 +772,7 @@ class Session:
         workers: int | None = None,
         progress: Any = None,
         vectorize: Any = None,
+        scenario_transport: str | None = None,
     ) -> BatchResult:
         """Run a batch of scenario specs and collect every result.
 
@@ -757,11 +792,17 @@ class Session:
         order).  A *custom stateful* sampler must expose the same
         ``seek``/``cursor`` pair to keep the guarantee — without it, units
         sharing a worker see the sampler state in scheduling order.
-        ``progress`` is called as ``progress(done, total, label)`` after each
-        scenario.
+        ``scenario_transport`` (default from :meth:`parallel`, else
+        ``"redraw"`` — grid units historically draw worker-side) selects how
+        parallel units obtain their scenarios: ``"redraw"`` ships no
+        scenario data, ``"value"`` pre-draws every unit's slice here and
+        ships the :class:`~repro.core.timing.ScenarioBatch` tensors; results
+        are bit-identical either way.  ``progress`` is called as
+        ``progress(done, total, label)`` after each scenario.
         """
         from repro.runtime.plan import unique_label
 
+        self._check_transport(scenario_transport)
         coerced: list[ScenarioSpec] = []
         for entry in scenarios:
             if isinstance(entry, ScenarioSpec):
@@ -801,7 +842,9 @@ class Session:
         mode = self._effective_vectorize(vectorize)
         pool_config = self._pool_config(parallel, workers)
         if pool_config is not None and entries:
-            return self._run_many_parallel(entries, pool_config, progress, mode)
+            return self._run_many_parallel(
+                entries, pool_config, progress, mode, scenario_transport
+            )
 
         context = self.build_context()
         system = self._execution_system()
@@ -851,13 +894,61 @@ class Session:
         config = dict(
             self._parallel
             if self._parallel is not None
-            else {"workers": None, "chunk_size": None, "mp_context": None}
+            else {
+                "workers": None,
+                "chunk_size": None,
+                "mp_context": None,
+                "scenario_transport": None,
+            }
         )
         if workers is not None:
             if int(workers) < 1:
                 raise SessionError(f"workers must be >= 1, got {workers}")
             config["workers"] = int(workers)
         return config
+
+    @staticmethod
+    def _check_transport(value: str | None) -> None:
+        """Reject anything but ``None`` or a known scenario transport name."""
+        if value is not None and value not in _TRANSPORTS:
+            raise SessionError(
+                f"unknown scenario transport {value!r}; "
+                f"expected one of {sorted(_TRANSPORTS)}"
+            )
+
+    def _effective_transport(
+        self,
+        override: str | None,
+        pool_config: dict[str, Any],
+        default: str = "value",
+    ) -> str:
+        """The scenario transport a parallel run should use.
+
+        Both sources are validated where they enter the session (the run
+        methods for the override, :meth:`parallel` for the builder
+        configuration), so this only resolves precedence.  ``default``
+        preserves each run shape's historical transport: ``"value"`` for
+        ``compare`` (scenarios were always pre-drawn), ``"redraw"`` for
+        ``run_many`` (units always drew worker-side).
+        """
+        transport = (
+            override
+            if override is not None
+            else pool_config.get("scenario_transport")
+        )
+        return transport if transport is not None else default
+
+    def _redraw_supported(self) -> bool:
+        """True when workers can re-draw the compare scenarios bit-identically.
+
+        Requires a scenario sampler that is absent (actual times equal the
+        averages), or exposes the ``seek``/``cursor`` replay interface (the
+        :class:`~repro.media.timing_model.FrameScenarioSampler` contract) so
+        a worker running several units can re-position the stream between
+        them.  Anything else falls back to ship-by-value.
+        """
+        sampler = self.resolved_system().timing.scenario_sampler
+        return sampler is None or supports_replay(sampler)
 
     def _parallel_artifact_cache(self):
         """The artifact cache pool workers hydrate from, or ``None``.
@@ -955,6 +1046,7 @@ class Session:
         config: dict[str, Any],
         progress: Any,
         vectorize: str | None = None,
+        scenario_transport: str | None = None,
     ) -> BatchResult:
         from repro.runtime.plan import plan_run_many
 
@@ -962,8 +1054,18 @@ class Session:
         self._prepare_parallel_cache(cache, [spec for _, spec, _, _ in entries])
         payload = self._execution_payload(cache, vectorize)
         sampler = payload.system.timing.scenario_sampler
-        track = hasattr(sampler, "seek") and hasattr(sampler, "cursor")
-        plan = plan_run_many(payload, entries, track_sampler=track)
+        track = supports_replay(sampler)
+        batches = None
+        if self._effective_transport(scenario_transport, config, default="redraw") == "value":
+            # ship-by-value: draw every unit's slice here, in entry order —
+            # exactly the serial draw order, so the parent sampler ends where
+            # a serial run would and the units carry their tensors
+            exec_system = self._execution_system()
+            batches = [
+                exec_system.draw_scenarios(n_cycles, np.random.default_rng(seed))
+                for _, _, n_cycles, seed in entries
+            ]
+        plan = plan_run_many(payload, entries, track_sampler=track, scenarios=batches)
         outcome = self._executor_for(config).run(
             plan, progress=self._adapt_progress(progress)
         )
@@ -987,13 +1089,14 @@ class Session:
     def _compare_parallel(
         self,
         chosen: Sequence[ManagerSpec],
-        scenarios: Sequence[ActualTimeScenario],
+        scenarios: ScenarioBatch | Sequence[ActualTimeScenario],
         used_seed: int | None,
         config: dict[str, Any],
         progress: Any,
         vectorize: str | None = None,
     ) -> BatchResult:
-        from repro.runtime.plan import plan_compare, unique_label
+        """Ship-by-value compare: every unit carries the pre-drawn batch tensor."""
+        from repro.runtime.plan import plan_compare
 
         cache = self._parallel_artifact_cache()
         self._prepare_parallel_cache(cache, list(chosen))
@@ -1002,6 +1105,45 @@ class Session:
         outcome = self._executor_for(config).run(
             plan, progress=self._adapt_progress(progress)
         )
+        return self._collect_compare_runs(plan, outcome, used_seed)
+
+    def _compare_parallel_redraw(
+        self,
+        chosen: Sequence[ManagerSpec],
+        n_cycles: int,
+        used_seed: int,
+        config: dict[str, Any],
+        progress: Any,
+        vectorize: str | None = None,
+    ) -> BatchResult:
+        """Re-draw compare: units ship no scenario data, workers re-draw them.
+
+        The payload's system still carries the sampler position the serial
+        draw would start from, so each worker reproduces exactly the batch
+        :meth:`compare` would have drawn here; afterwards the parent sampler
+        is advanced past the shared window, leaving the scenario stream
+        exactly where the serial path would.
+        """
+        from repro.runtime.plan import plan_compare_redraw
+
+        cache = self._parallel_artifact_cache()
+        self._prepare_parallel_cache(cache, list(chosen))
+        payload = self._execution_payload(cache, vectorize)
+        plan = plan_compare_redraw(payload, list(chosen), n_cycles, used_seed)
+        outcome = self._executor_for(config).run(
+            plan, progress=self._adapt_progress(progress)
+        )
+        sampler = payload.system.timing.scenario_sampler
+        if supports_replay(sampler):
+            sampler.seek(sampler.cursor + n_cycles)
+        return self._collect_compare_runs(plan, outcome, used_seed)
+
+    def _collect_compare_runs(
+        self, plan: Any, outcome: Any, used_seed: int | None
+    ) -> BatchResult:
+        """Label and wrap the pool outcomes of a compare plan (either transport)."""
+        from repro.runtime.plan import unique_label
+
         deadlines = self.resolved_deadlines()
         machine_name = self._machine.name if self._machine is not None else None
         runs: dict[str, RunResult] = {}

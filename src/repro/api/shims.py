@@ -23,10 +23,17 @@ from repro.core.manager import QualityManager
 from repro.core.policy import QualityManagementPolicy
 from repro.core.relaxation import DEFAULT_RELAXATION_STEPS
 from repro.core.system import CycleOutcome, ParameterizedSystem
+from repro.core.timing import ActualTimeScenario, TimingModel
 
 from .registry import BuildContext, build_manager
 
-__all__ = ["compile_controllers", "build_baseline", "run_controlled"]
+__all__ = [
+    "compile_controllers",
+    "build_baseline",
+    "run_controlled",
+    "draw_scenarios_tuple",
+    "sample_scenarios_tuple",
+]
 
 
 def _warn(old: str, new: str) -> None:
@@ -65,6 +72,43 @@ def build_baseline(
     _warn("repro.api.build_baseline", "repro.api.build_manager / Session.manager(key)")
     context = BuildContext.create(system, deadlines)
     return build_manager(name, context, **params)
+
+
+def draw_scenarios_tuple(
+    system: ParameterizedSystem,
+    count: int,
+    rng: np.random.Generator,
+) -> tuple[ActualTimeScenario, ...]:
+    """Deprecated: the pre-columnar tuple shape of ``draw_scenarios``.
+
+    ``ParameterizedSystem.draw_scenarios`` now returns a
+    :class:`~repro.core.timing.ScenarioBatch` (one tensor, per-cycle views on
+    demand); this shim materialises the old tuple of per-cycle objects for
+    call sites that still unpack it.
+    """
+    _warn(
+        "repro.api.draw_scenarios_tuple",
+        "ParameterizedSystem.draw_scenarios (a ScenarioBatch; index or iterate it)",
+    )
+    return system.draw_scenarios(count, rng).scenarios()
+
+
+def sample_scenarios_tuple(
+    model: TimingModel,
+    count: int,
+    rng: np.random.Generator,
+) -> tuple[ActualTimeScenario, ...]:
+    """Deprecated: the pre-columnar tuple shape of ``sample_scenarios``.
+
+    ``TimingModel.sample_scenarios`` now returns a
+    :class:`~repro.core.timing.ScenarioBatch`; this shim materialises the old
+    tuple of per-cycle objects for call sites that still unpack it.
+    """
+    _warn(
+        "repro.api.sample_scenarios_tuple",
+        "TimingModel.sample_scenarios (a ScenarioBatch; index or iterate it)",
+    )
+    return model.sample_scenarios(count, rng).scenarios()
 
 
 def run_controlled(

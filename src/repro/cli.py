@@ -99,6 +99,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the persistent compiled-artifact cache",
     )
+    sweep.add_argument(
+        "--scenario-transport",
+        choices=("value", "redraw"),
+        default="redraw",
+        help=(
+            "how parallel sweep units obtain their scenarios: redraw (the "
+            "default) ships no scenario data and each worker re-draws its "
+            "slice of the stream; value pre-draws every unit's slice in the "
+            "parent and ships the ScenarioBatch tensors — results are "
+            "bit-identical either way"
+        ),
+    )
 
     experiments = commands.add_parser(
         "experiments", help="run the full experiment suite (every table and figure)"
@@ -116,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "always", "never"),
         default="auto",
         help="cycle engine: vectorised NumPy kernels (auto/always) or the scalar loop",
+    )
+    experiments.add_argument(
+        "--scenario-transport",
+        choices=("value", "redraw"),
+        default="value",
+        help="parallel compare scenario transport (only meaningful with --workers)",
     )
 
     diagram = commands.add_parser("diagram", help="print the speed diagram of one cycle")
@@ -225,6 +243,7 @@ def _run_sweep(
     workers: int,
     cache_dir: str | None,
     no_cache: bool,
+    scenario_transport: str = "value",
 ) -> int:
     import time
 
@@ -240,6 +259,8 @@ def _run_sweep(
         # an explicit opt-out also keeps the *pool* from using its default
         # cache location — workers then compile locally
         session.artifacts(False if no_cache else (cache_dir if cache_dir is not None else True))
+        if workers >= 1:
+            session.parallel(workers, scenario_transport=scenario_transport)
         grid = grid_specs(
             managers=specs, seeds=spawn_seeds(seed, scenarios), cycles=cycles
         )
@@ -274,13 +295,21 @@ def _run_sweep(
 
 
 def _run_experiments(
-    fast: bool, seed: int, workers: int | None = None, vectorize: str = "auto"
+    fast: bool,
+    seed: int,
+    workers: int | None = None,
+    vectorize: str = "auto",
+    scenario_transport: str = "value",
 ) -> int:
     from repro.experiments import run_all_experiments
 
     try:
         result = run_all_experiments(
-            fast=fast, seed=seed, workers=workers, vectorize=vectorize
+            fast=fast,
+            seed=seed,
+            workers=workers,
+            vectorize=vectorize,
+            scenario_transport=scenario_transport,
         )
     except (ValueError, RuntimeError) as error:  # bad --workers / sweep failures
         print(f"error: {error}")
@@ -325,10 +354,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.workers,
             arguments.cache_dir,
             arguments.no_cache,
+            arguments.scenario_transport,
         )
     if arguments.command == "experiments":
         return _run_experiments(
-            arguments.fast, arguments.seed, arguments.workers, arguments.vectorize
+            arguments.fast,
+            arguments.seed,
+            arguments.workers,
+            arguments.vectorize,
+            arguments.scenario_transport,
         )
     if arguments.command == "diagram":
         return _run_diagram(arguments.seed)

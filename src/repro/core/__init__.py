@@ -48,6 +48,7 @@ from .system import CycleOutcome, ParameterizedSystem
 from .tdtable import TDTable, compute_td_table
 from .timing import (
     ActualTimeScenario,
+    ScenarioBatch,
     TimingModel,
     TimingTable,
     blend_tables,
@@ -87,6 +88,7 @@ __all__ = [
     "TimingTable",
     "TimingModel",
     "ActualTimeScenario",
+    "ScenarioBatch",
     "build_table",
     "scaled_table",
     "blend_tables",

@@ -22,7 +22,7 @@ import numpy as np
 from .deadlines import DeadlineFunction
 from .manager import ManagerWork, QualityManager
 from .system import CycleOutcome, ParameterizedSystem
-from .timing import ActualTimeScenario
+from .timing import ActualTimeScenario, ScenarioBatch
 
 __all__ = [
     "OverheadModelProtocol",
@@ -131,6 +131,14 @@ def run_fixed_quality(
         scenario = system.draw_scenario(rng if rng is not None else np.random.default_rng(0))
         durations = scenario.matrix[row].copy()
     else:
+        if scenario.qualities != system.qualities:
+            # the row gather below uses the *system's* level-to-row mapping; a
+            # scenario drawn for another quality set would silently yield a
+            # different level's durations
+            raise ValueError(
+                f"scenario quality set {scenario.qualities!r} does not match "
+                f"the system's {system.qualities!r}"
+            )
         durations = scenario.matrix[row]
     n = system.n_actions
     completion = np.cumsum(durations)
@@ -146,27 +154,45 @@ def run_fixed_quality(
 def run_fixed_quality_batch(
     system: ParameterizedSystem,
     quality: int,
-    scenarios: Sequence[ActualTimeScenario],
+    scenarios: "ScenarioBatch | Sequence[ActualTimeScenario]",
 ) -> tuple[CycleOutcome, ...]:
     """Vectorised :func:`run_fixed_quality` over a batch of scenarios.
 
-    One row gather plus one ``cumsum`` for the whole batch; the outcomes are
-    bit-identical to per-scenario :func:`run_fixed_quality` calls
-    (``numpy.cumsum`` along the action axis performs the same sequential
-    additions as the scalar path).
+    One row gather plus one ``cumsum`` for the whole batch — for a
+    :class:`~repro.core.timing.ScenarioBatch` the row gather is a single
+    tensor slice, no per-cycle objects; the outcomes are bit-identical to
+    per-scenario :func:`run_fixed_quality` calls (``numpy.cumsum`` along the
+    action axis performs the same sequential additions as the scalar path).
     """
     if quality not in system.qualities:
         raise ValueError(f"quality {quality} not in {system.qualities!r}")
-    if not scenarios:
+    if not len(scenarios):
         return ()
     row = system.qualities.index_of(quality)
     n = system.n_actions
-    for scenario in scenarios:
-        if scenario.n_actions != n:
+    if isinstance(scenarios, ScenarioBatch):
+        if scenarios.n_actions != n:
             raise ValueError(
-                f"scenario covers {scenario.n_actions} actions, system has {n}"
+                f"scenario batch covers {scenarios.n_actions} actions, system has {n}"
             )
-    durations = np.stack([scenario.matrix[row] for scenario in scenarios])
+        if scenarios.qualities != system.qualities:
+            raise ValueError(
+                f"scenario quality set {scenarios.qualities!r} does not match "
+                f"the system's {system.qualities!r}"
+            )
+        durations = scenarios.tensor[:, row, :]
+    else:
+        for scenario in scenarios:
+            if scenario.n_actions != n:
+                raise ValueError(
+                    f"scenario covers {scenario.n_actions} actions, system has {n}"
+                )
+            if scenario.qualities != system.qualities:
+                raise ValueError(
+                    f"scenario quality set {scenario.qualities!r} does not match "
+                    f"the system's {system.qualities!r}"
+                )
+        durations = np.stack([scenario.matrix[row] for scenario in scenarios])
     completion = np.cumsum(durations, axis=1)
     return tuple(
         CycleOutcome(
@@ -236,7 +262,7 @@ class ControlledSystem:
         n_cycles: int,
         *,
         rng: np.random.Generator | None = None,
-        scenarios: Sequence[ActualTimeScenario] | None = None,
+        scenarios: ScenarioBatch | Sequence[ActualTimeScenario] | None = None,
         vectorize: object = "auto",
     ) -> list[CycleOutcome]:
         """Execute several consecutive cycles and return their traces.

@@ -23,10 +23,12 @@ The engine works in three parts:
   :class:`~repro.core.system.CycleOutcome` batches are bit-identical;
 * **the dispatcher** — :func:`run_cycles_batch` draws scenarios through the
   batched :meth:`~repro.core.system.ParameterizedSystem.draw_scenarios` API
-  and picks the vectorised path when a kernel exists, falling back to the
-  scalar loop (same results, slower) for managers with no kernel — the
-  numeric manager, the adaptive baselines, the extension managers — or for
-  overhead models that do not declare deterministic charges.
+  (a columnar :class:`~repro.core.timing.ScenarioBatch` whose tensor the
+  executor consumes directly, no re-stacking) and picks the vectorised path
+  when a kernel exists, falling back to the scalar loop (same results,
+  slower) for managers with no kernel — the numeric manager, the adaptive
+  baselines, the extension managers — or for overhead models that do not
+  declare deterministic charges.
 
 Determinism contract: for any manager/overhead/scenario combination, the
 outcomes returned by this module are bit-identical to a sequence of scalar
@@ -50,7 +52,7 @@ from .manager import ManagerWork, QualityManager
 from .regions import RegionQualityManager
 from .relaxation import RelaxationQualityManager
 from .system import CycleOutcome, ParameterizedSystem
-from .timing import ActualTimeScenario
+from .timing import ActualTimeScenario, ScenarioBatch
 
 __all__ = [
     "EngineError",
@@ -370,7 +372,8 @@ def supports_vectorized(
 
 
 def scenarios_vectorizable(
-    system: ParameterizedSystem, scenarios: Sequence[ActualTimeScenario]
+    system: ParameterizedSystem,
+    scenarios: ScenarioBatch | Sequence[ActualTimeScenario],
 ) -> bool:
     """True when every scenario indexes by the system's own quality set.
 
@@ -378,13 +381,33 @@ def scenarios_vectorizable(
     a scenario drawn for a different (e.g. wider) set is still executable by
     the scalar loop, which uses the scenario's own level-to-row mapping.
     """
+    if isinstance(scenarios, ScenarioBatch):
+        return scenarios.qualities == system.qualities
     return all(scenario.qualities == system.qualities for scenario in scenarios)
 
 
-def _stacked_matrices(
-    system: ParameterizedSystem, scenarios: Sequence[ActualTimeScenario]
+def _scenario_tensor(
+    system: ParameterizedSystem,
+    scenarios: ScenarioBatch | Sequence[ActualTimeScenario],
 ) -> np.ndarray:
-    """Validate a scenario batch and stack it into ``(n_cycles, levels, actions)``."""
+    """Validate the scenarios and return the ``(n_cycles, levels, actions)`` tensor.
+
+    A :class:`~repro.core.timing.ScenarioBatch` is consumed directly — the
+    engine executes its tensor with no re-stacking and no per-cycle objects;
+    a sequence of per-cycle scenarios is validated and stacked once.
+    """
+    if isinstance(scenarios, ScenarioBatch):
+        if scenarios.n_actions != system.n_actions:
+            raise ValueError(
+                f"scenario batch covers {scenarios.n_actions} actions, "
+                f"system has {system.n_actions}"
+            )
+        if scenarios.qualities != system.qualities:
+            raise EngineError(
+                "vectorised execution requires scenarios drawn for the system's "
+                f"quality set; got {scenarios.qualities!r} vs {system.qualities!r}"
+            )
+        return scenarios.tensor
     for scenario in scenarios:
         if scenario.n_actions != system.n_actions:
             raise ValueError(
@@ -402,17 +425,19 @@ def _stacked_matrices(
 def run_cycles_vectorized(
     system: ParameterizedSystem,
     manager: QualityManager,
-    scenarios: Sequence[ActualTimeScenario],
+    scenarios: ScenarioBatch | Sequence[ActualTimeScenario],
     *,
     overhead_model: OverheadModelProtocol | None = None,
     kernel: DecisionKernel | None = None,
 ) -> tuple[CycleOutcome, ...]:
     """Execute a batch of cycles through the lockstep vectorised engine.
 
-    All cycles advance one action per iteration, so every cycle performs the
-    exact floating-point operation sequence of the scalar loop (overhead
-    added at each invocation, one duration added per action) and the
-    returned outcomes are bit-identical to per-cycle
+    ``scenarios`` is a :class:`~repro.core.timing.ScenarioBatch` (its tensor
+    is executed directly) or a sequence of per-cycle scenarios (stacked
+    once).  All cycles advance one action per iteration, so every cycle
+    performs the exact floating-point operation sequence of the scalar loop
+    (overhead added at each invocation, one duration added per action) and
+    the returned outcomes are bit-identical to per-cycle
     :func:`~repro.core.controller.run_cycle` calls.  Raises
     :class:`EngineError` when the manager has no kernel.
     """
@@ -424,9 +449,9 @@ def run_cycles_vectorized(
                 "vectorised decision kernel; use run_cycles_batch for automatic "
                 "scalar fallback"
             )
-    if not scenarios:
+    if not len(scenarios):
         return ()
-    matrices = _stacked_matrices(system, scenarios)
+    matrices = _scenario_tensor(system, scenarios)
     n_cycles = matrices.shape[0]
     n_actions = system.n_actions
     level_minimum = system.qualities.minimum
@@ -496,7 +521,7 @@ def run_cycles_batch(
     manager: QualityManager,
     cycles: int | None = None,
     *,
-    scenarios: Sequence[ActualTimeScenario] | None = None,
+    scenarios: ScenarioBatch | Sequence[ActualTimeScenario] | None = None,
     rng: np.random.Generator | None = None,
     overhead_model: OverheadModelProtocol | None = None,
     vectorize: object = "auto",
@@ -505,9 +530,11 @@ def run_cycles_batch(
 
     The batch entry point used by :class:`~repro.api.session.Session` and the
     :mod:`~repro.runtime.pool` workers.  ``scenarios`` fixes the actual times
-    of every cycle; when omitted, ``cycles`` scenarios are drawn up-front via
-    the batched :meth:`~repro.core.system.ParameterizedSystem.draw_scenarios`
-    API (bit-identical to the scalar loop's per-cycle draws, including the
+    of every cycle — a :class:`~repro.core.timing.ScenarioBatch` tensor is
+    executed directly, a sequence of per-cycle scenarios is accepted too;
+    when omitted, ``cycles`` scenarios are drawn up-front as one batch via
+    :meth:`~repro.core.system.ParameterizedSystem.draw_scenarios`
+    (bit-identical to the scalar loop's per-cycle draws, including the
     sampler-state advancement).  ``vectorize`` is ``"auto"`` (kernel when
     available, scalar otherwise), ``"always"``/``True`` (raise without a
     kernel) or ``"never"``/``False`` (scalar loop).
@@ -521,7 +548,8 @@ def run_cycles_batch(
         generator = rng if rng is not None else np.random.default_rng(0)
         scenarios = system.draw_scenarios(int(cycles), generator)
     else:
-        scenarios = tuple(scenarios)
+        if not isinstance(scenarios, ScenarioBatch):
+            scenarios = tuple(scenarios)
         if cycles is not None and len(scenarios) != int(cycles):
             raise EngineError(
                 f"expected {cycles} scenarios, got {len(scenarios)}"

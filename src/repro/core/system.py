@@ -16,10 +16,105 @@ from typing import Callable, Sequence
 import numpy as np
 
 from .deadlines import DeadlineFunction
-from .timing import ActualTimeScenario, TimingModel, TimingTable
+from .timing import ActualTimeScenario, ScenarioBatch, TimingModel, TimingTable
 from .types import InvalidTimingError, QualitySet, ScheduledSequence
 
 __all__ = ["ParameterizedSystem", "CycleOutcome"]
+
+
+class _TransformedSampler:
+    """Base of the derived-system samplers: wraps an inner sampler.
+
+    Sampler *state* (``seek``/``cursor``/``rewind`` of stateful samplers such
+    as :class:`~repro.media.timing_model.FrameScenarioSampler`) is delegated
+    to the wrapped sampler, so derived systems keep the parallel sweep
+    engine's replay guarantees; ``hasattr`` checks see exactly what the inner
+    sampler offers.  Instances are plain picklable objects — a derived system
+    built from a picklable sampler can cross a process boundary.
+    """
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, inner: Callable[[np.random.Generator], np.ndarray]) -> None:
+        self._inner = inner
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):  # also guards unpickling before _inner exists
+            raise AttributeError(name)
+        return getattr(self._inner, name)
+
+    def __getstate__(self):
+        return self._inner
+
+    def __setstate__(self, state) -> None:
+        self._inner = state
+
+    def _raw_batch(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """The inner sampler's next ``count`` raw matrices, stacked."""
+        batch = getattr(self._inner, "sample_batch", None)
+        if batch is not None:
+            return np.asarray(batch(count, rng), dtype=np.float64)
+        if count == 0:
+            raise ValueError(
+                "cannot size an empty batch: the wrapped sampler has no sample_batch"
+            )
+        return np.stack(
+            [np.asarray(self._inner(rng), dtype=np.float64) for _ in range(count)]
+        )
+
+
+class _ScaledSampler(_TransformedSampler):
+    """Sampler of :meth:`ParameterizedSystem.rescaled` (times x factor)."""
+
+    __slots__ = ("_factor",)
+
+    #: the scaling multiply always allocates — batches are never the inner
+    #: sampler's buffer, so TimingModel may consume them in place
+    returns_fresh_batches = True
+
+    def __init__(self, inner, factor: float) -> None:
+        super().__init__(inner)
+        self._factor = float(factor)
+
+    def __call__(self, rng: np.random.Generator) -> np.ndarray:
+        return np.asarray(self._inner(rng), dtype=np.float64) * self._factor
+
+    def sample_batch(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return self._raw_batch(int(count), rng) * self._factor
+
+    def __getstate__(self):
+        return (self._inner, self._factor)
+
+    def __setstate__(self, state) -> None:
+        self._inner, self._factor = state
+
+
+class _TruncatedSampler(_TransformedSampler):
+    """Sampler of :meth:`ParameterizedSystem.truncated` (first ``n`` actions)."""
+
+    __slots__ = ("_n_actions",)
+
+    #: sample_batch copies its slice unconditionally — see below
+    returns_fresh_batches = True
+
+    def __init__(self, inner, n_actions: int) -> None:
+        super().__init__(inner)
+        self._n_actions = int(n_actions)
+
+    def __call__(self, rng: np.random.Generator) -> np.ndarray:
+        return np.asarray(self._inner(rng), dtype=np.float64)[:, : self._n_actions]
+
+    def sample_batch(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        # copy the slice: a view would pin the full-width draw of the inner
+        # sampler in memory for the lifetime of the batch, and a full-width
+        # truncation would alias a buffer the inner sampler might retain
+        return self._raw_batch(int(count), rng)[:, :, : self._n_actions].copy()
+
+    def __getstate__(self):
+        return (self._inner, self._n_actions)
+
+    def __setstate__(self, state) -> None:
+        self._inner, self._n_actions = state
 
 
 @dataclass(frozen=True)
@@ -193,12 +288,7 @@ class ParameterizedSystem:
         wc = TimingTable(self.qualities, self.worst_case.values * factor, name="Cwc")
         av = TimingTable(self.qualities, self.average.values * factor, name="Cav")
         sampler = self._timing.scenario_sampler
-        if sampler is None:
-            scaled_sampler = None
-        else:
-            def scaled_sampler(rng: np.random.Generator) -> np.ndarray:
-                return np.asarray(sampler(rng), dtype=np.float64) * factor
-
+        scaled_sampler = None if sampler is None else _ScaledSampler(sampler, factor)
         return ParameterizedSystem(self._sequence, TimingModel(wc, av, scaled_sampler))
 
     def truncated(self, n_actions: int) -> "ParameterizedSystem":
@@ -211,13 +301,9 @@ class ParameterizedSystem:
         wc = TimingTable(self.qualities, self.worst_case.values[:, :n_actions], name="Cwc")
         av = TimingTable(self.qualities, self.average.values[:, :n_actions], name="Cav")
         sampler = self._timing.scenario_sampler
-        if sampler is None:
-            truncated_sampler = None
-        else:
-            def truncated_sampler(rng: np.random.Generator) -> np.ndarray:
-                full = np.asarray(sampler(rng), dtype=np.float64)
-                return full[:, :n_actions]
-
+        truncated_sampler = (
+            None if sampler is None else _TruncatedSampler(sampler, n_actions)
+        )
         return ParameterizedSystem(sequence, TimingModel(wc, av, truncated_sampler))
 
     # ------------------------------------------------------------------ #
@@ -227,14 +313,14 @@ class ParameterizedSystem:
         """Draw the actual execution times of one cycle (all levels x actions)."""
         return self._timing.sample_scenario(rng)
 
-    def draw_scenarios(
-        self, count: int, rng: np.random.Generator
-    ) -> tuple[ActualTimeScenario, ...]:
-        """Draw the actual times of ``count`` consecutive cycles, batched.
+    def draw_scenarios(self, count: int, rng: np.random.Generator) -> ScenarioBatch:
+        """Draw the actual times of ``count`` consecutive cycles, columnar.
 
         Bit-identical to ``count`` successive :meth:`draw_scenario` calls
-        (same rng consumption, same sampler-state advancement); see
+        (same rng consumption, same sampler-state advancement), returned as
+        one :class:`~repro.core.timing.ScenarioBatch` tensor; see
         :meth:`TimingModel.sample_scenarios <repro.core.timing.TimingModel.sample_scenarios>`.
+        Per-cycle views are available via indexing/iteration.
         """
         return self._timing.sample_scenarios(count, rng)
 

@@ -30,8 +30,23 @@ __all__ = [
     "scaled_table",
     "blend_tables",
     "ActualTimeScenario",
+    "ScenarioBatch",
     "TimingModel",
+    "supports_replay",
 ]
+
+
+def supports_replay(sampler: object) -> bool:
+    """True when a scenario sampler's stream can be re-positioned.
+
+    The ``seek``/``cursor`` contract of
+    :class:`~repro.media.timing_model.FrameScenarioSampler` (and of the
+    derived-system wrappers, which delegate the pair): what lets the parallel
+    sweep engine replay the exact draw order of a serial run.  This is the
+    single predicate every replay decision — offset tracking, re-draw
+    transport eligibility, worker-side seeks — consults.
+    """
+    return hasattr(sampler, "seek") and hasattr(sampler, "cursor")
 
 
 class TimingTable:
@@ -312,6 +327,201 @@ class ActualTimeScenario:
         return self._matrix[rows, np.arange(self.n_actions)]
 
 
+def _without_writable_aliases(array: np.ndarray) -> np.ndarray:
+    """The array itself when no writable base aliases it, else a copy.
+
+    Walks the view chain: an array whose memory is reachable through a
+    still-writable base cannot be made immutable by freezing the view alone,
+    so it is detached; an owned array (or one whose whole chain is already
+    frozen) passes through for the zero-copy adoption paths.
+    """
+    base = array.base
+    while base is not None:
+        if getattr(base, "flags", None) is not None and base.flags.writeable:
+            return array.copy()
+        base = getattr(base, "base", None)
+    return array
+
+
+class ScenarioBatch:
+    """The actual execution times of many consecutive cycles, columnar.
+
+    One ``(n_cycles, levels, actions)`` float64 tensor plus the quality set —
+    the batch analogue of :class:`ActualTimeScenario` and the native currency
+    of the scenario pipeline: the batched samplers produce it, the vectorised
+    cycle engine (:mod:`repro.core.engine`) executes its tensor directly, and
+    the parallel sweep transport (:mod:`repro.runtime.plan`) ships it as a
+    single array instead of a tuple of per-cycle objects.
+
+    Per-cycle consumers keep working: ``len(batch)`` is the cycle count,
+    ``batch[i]`` returns an :class:`ActualTimeScenario` *view* of cycle ``i``
+    (zero-copy, read-only), slices return sub-batches, and iteration yields
+    the per-cycle views in order.  The tensor is frozen on construction so a
+    consumer of one view can never corrupt its siblings.
+    """
+
+    __slots__ = ("_qualities", "_tensor")
+
+    def __init__(self, qualities: QualitySet, tensor: np.ndarray) -> None:
+        array = np.asarray(tensor, dtype=np.float64)
+        if array.ndim != 3 or array.shape[1] != len(qualities):
+            raise InvalidTimingError(
+                "scenario batch tensor must have shape (n_cycles, levels, actions) "
+                f"with {len(qualities)} levels, got shape {array.shape}"
+            )
+        # an owned writable array is adopted and frozen in place (the same
+        # ownership-transfer convention as TimingTable/ActualTimeScenario);
+        # a *view* whose base chain is still writable is copied instead —
+        # freezing only the view would leave a writable alias that could
+        # corrupt the batch behind its back
+        array = _without_writable_aliases(array)
+        array.setflags(write=False)
+        self._qualities = qualities
+        self._tensor = array
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, qualities: QualitySet, n_actions: int) -> "ScenarioBatch":
+        """A zero-cycle batch with the given ``(levels, actions)`` footprint."""
+        return cls(qualities, np.empty((0, len(qualities), int(n_actions))))
+
+    @classmethod
+    def shared(cls, qualities: QualitySet, matrix: np.ndarray, count: int) -> "ScenarioBatch":
+        """A batch whose every cycle views one shared ``(levels, actions)`` matrix.
+
+        The sampler-less draw path (actual times equal the averages): the
+        matrix is frozen and broadcast along a stride-0 cycle axis, so the
+        batch costs one matrix regardless of ``count``.  Built directly
+        (NumPy's broadcast machinery creates internal views that defeat the
+        constructor's writable-alias inspection); the same alias rule as
+        ``__init__`` applies to the matrix — an owned array is adopted and
+        frozen, a view over still-writable memory is copied first — so no
+        caller-visible alias can mutate the batch.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        count = int(count)
+        if matrix.ndim != 2 or matrix.shape[0] != len(qualities):
+            raise InvalidTimingError(
+                "shared scenario matrix must have shape (levels, actions) "
+                f"with {len(qualities)} levels, got shape {matrix.shape}"
+            )
+        if count < 0:
+            raise ValueError(f"scenario count must be >= 0, got {count}")
+        matrix = _without_writable_aliases(matrix)
+        matrix.setflags(write=False)
+        batch = cls.__new__(cls)
+        batch._qualities = qualities
+        batch._tensor = np.broadcast_to(matrix, (count, *matrix.shape))
+        return batch
+
+    @classmethod
+    def from_scenarios(
+        cls, scenarios: Sequence["ActualTimeScenario"]
+    ) -> "ScenarioBatch":
+        """Stack per-cycle scenarios into one batch (they must share a quality set)."""
+        scenarios = tuple(scenarios)
+        if not scenarios:
+            raise InvalidTimingError(
+                "cannot infer the quality set of an empty scenario sequence; "
+                "use ScenarioBatch.empty(qualities, n_actions)"
+            )
+        qualities = scenarios[0].qualities
+        for scenario in scenarios[1:]:
+            if scenario.qualities != qualities:
+                raise InvalidTimingError(
+                    "all scenarios of a batch must share one quality set"
+                )
+        return cls(qualities, np.stack([scenario.matrix for scenario in scenarios]))
+
+    @classmethod
+    def coerce(
+        cls, scenarios: "ScenarioBatch | Sequence[ActualTimeScenario]"
+    ) -> "ScenarioBatch":
+        """The batch itself, or per-cycle scenarios stacked into one."""
+        if isinstance(scenarios, cls):
+            return scenarios
+        return cls.from_scenarios(scenarios)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def qualities(self) -> QualitySet:
+        """The quality set indexing the middle axis."""
+        return self._qualities
+
+    @property
+    def tensor(self) -> np.ndarray:
+        """The read-only ``(n_cycles, levels, actions)`` tensor."""
+        return self._tensor
+
+    @property
+    def n_cycles(self) -> int:
+        """Number of cycles in the batch (also ``len(batch)``)."""
+        return int(self._tensor.shape[0])
+
+    @property
+    def n_actions(self) -> int:
+        """Number of actions per cycle."""
+        return int(self._tensor.shape[2])
+
+    def __len__(self) -> int:
+        return int(self._tensor.shape[0])
+
+    def __getitem__(
+        self, index: "int | slice | np.integer"
+    ) -> "ActualTimeScenario | ScenarioBatch":
+        if isinstance(index, slice):
+            return ScenarioBatch(self._qualities, self._tensor[index])
+        return ActualTimeScenario(self._qualities, self._tensor[int(index)])
+
+    def __iter__(self):
+        for cycle in range(len(self)):
+            yield ActualTimeScenario(self._qualities, self._tensor[cycle])
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ScenarioBatch)
+            and other._qualities == self._qualities
+            and np.array_equal(other._tensor, self._tensor)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ScenarioBatch(cycles={len(self)}, levels={len(self._qualities)}, "
+            f"actions={self.n_actions})"
+        )
+
+    def __reduce__(self):
+        # shared-matrix batches (stride-0 cycle axis, the sampler-less draw
+        # path) ship one matrix plus the count instead of n_cycles copies
+        if len(self) > 1 and self._tensor.strides[0] == 0:
+            return (
+                _broadcast_batch,
+                (self._qualities, np.ascontiguousarray(self._tensor[0]), len(self)),
+            )
+        # re-run __init__ on unpickle: restores the frozen flag and accepts
+        # the contiguous copy pickling needs anyway
+        return (ScenarioBatch, (self._qualities, np.ascontiguousarray(self._tensor)))
+
+    def scenarios(self) -> tuple["ActualTimeScenario", ...]:
+        """Materialise the per-cycle views (for tuple-shaped legacy consumers)."""
+        return tuple(self)
+
+    def nbytes(self) -> int:
+        """Size of one contiguous copy of the tensor, in bytes."""
+        return int(self._tensor.size * self._tensor.itemsize)
+
+
+def _broadcast_batch(
+    qualities: QualitySet, matrix: np.ndarray, count: int
+) -> ScenarioBatch:
+    """Unpickle helper: rebuild a shared-matrix batch as a zero-copy broadcast."""
+    return ScenarioBatch.shared(qualities, matrix, count)
+
+
 class TimingModel:
     """A pair of (worst-case, average) timing tables plus an actual-time sampler.
 
@@ -390,46 +600,65 @@ class TimingModel:
         self,
         count: int,
         rng: np.random.Generator,
-    ) -> tuple[ActualTimeScenario, ...]:
+    ) -> ScenarioBatch:
         """Draw the actual execution times of ``count`` consecutive cycles.
 
         Bit-identical to ``count`` successive :meth:`sample_scenario` calls —
         the same random variates in the same order, the same sampler-state
-        advancement for stateful samplers — but batched: samplers exposing a
+        advancement for stateful samplers — but columnar: the result is one
+        :class:`ScenarioBatch` holding a ``(count, levels, actions)`` tensor,
+        never ``count`` separate per-cycle objects.  Samplers exposing a
         ``sample_batch(count, rng)`` method (e.g.
-        :class:`~repro.media.timing_model.FrameScenarioSampler`) produce one
-        ``(count, levels, actions)`` array and the Definition 1 enforcement
-        (clip into ``[0, C^wc]``, running maximum along quality) is applied
-        to the whole batch in one pass.  This is the draw API the vectorised
-        cycle engine (:mod:`repro.core.engine`) stacks into its scenario
-        tensor.
+        :class:`~repro.media.timing_model.FrameScenarioSampler`) produce the
+        raw tensor in one NumPy kernel and the Definition 1 enforcement (clip
+        into ``[0, C^wc]``, running maximum along quality) is applied to the
+        whole tensor in one pass.  Samplers declaring
+        ``returns_fresh_batches = True`` (the built-in
+        :class:`~repro.media.timing_model.FrameScenarioSampler` and the
+        derived-system wrappers) hand over ownership of that array and the
+        enforcement runs in place — one buffer at paper scale; any other
+        sampler's array is copied first, so a custom sampler that retains
+        its buffer is never corrupted behind its back.  Without a sampler
+        the batch is a zero-copy broadcast of the single shared
+        average-times matrix (frozen, so no consumer can corrupt the
+        siblings).
         """
         count = int(count)
         if count < 0:
             raise ValueError(f"scenario count must be >= 0, got {count}")
+        shape = self.worst_case.values.shape
         if count == 0:
-            return ()
+            return ScenarioBatch.empty(self.qualities, shape[1])
         if self._sampler is None:
             # actual times equal the averages: every cycle sees one identical,
-            # already-validated matrix — share a single scenario object
-            return (self.sample_scenario(rng),) * count
+            # already-validated matrix — broadcast it (stride-0 first axis, no
+            # copies); the matrix is frozen so a consumer holding one cycle's
+            # view cannot corrupt the shared data
+            return ScenarioBatch.shared(
+                self.qualities, self.sample_scenario(rng).matrix, count
+            )
         batch_sampler = getattr(self._sampler, "sample_batch", None)
         if batch_sampler is None:
-            return tuple(self.sample_scenario(rng) for _ in range(count))
+            return ScenarioBatch(
+                self.qualities,
+                np.stack([self.sample_scenario(rng).matrix for _ in range(count)]),
+            )
         raw = np.asarray(batch_sampler(count, rng), dtype=np.float64)
-        expected = (count, *self.worst_case.values.shape)
+        expected = (count, *shape)
         if raw.shape != expected:
             raise InvalidTimingError(
                 f"batch scenario sampler must return a {expected} array, "
                 f"got shape {raw.shape}"
             )
+        owned = bool(getattr(self._sampler, "returns_fresh_batches", False))
+        if not owned or not raw.flags.writeable:
+            raw = raw.copy()
+        # Definition 1 on the whole tensor, in place (one buffer at paper scale)
         ceiling = self.worst_case.values[None, :, :]
-        clipped = np.clip(raw, 0.0, ceiling)
-        monotone = np.minimum(np.maximum.accumulate(clipped, axis=1), ceiling)
-        return tuple(
-            ActualTimeScenario(self.qualities, monotone[index])
-            for index in range(count)
-        )
+        np.clip(raw, 0.0, ceiling, out=raw)
+        np.maximum.accumulate(raw, axis=1, out=raw)
+        np.minimum(raw, ceiling, out=raw)
+        return ScenarioBatch(self.qualities, raw)
 
     def sample_actual(
         self,

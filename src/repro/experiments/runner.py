@@ -59,6 +59,7 @@ def run_all_experiments(
     workload: EncoderWorkload | None = None,
     workers: int | None = None,
     vectorize: str = "auto",
+    scenario_transport: str = "value",
 ) -> ExperimentSuiteResult:
     """Run experiments E1–E5 and return their results.
 
@@ -69,7 +70,11 @@ def run_all_experiments(
     ``vectorize`` selects the cycle engine for the session-driven
     experiments — ``"auto"`` (default) batch-executes the table-driven
     managers through :mod:`repro.core.engine`, ``"never"`` forces the scalar
-    loop; either way the artefacts are bit-identical.
+    loop; either way the artefacts are bit-identical.  ``scenario_transport``
+    selects how a parallel comparison ships its shared scenarios to the
+    workers (``"value"`` pre-draws and ships the
+    :class:`~repro.core.timing.ScenarioBatch` tensor, ``"redraw"`` ships no
+    scenario data and workers re-draw it); only meaningful with ``workers``.
     """
     if workload is not None:
         wl = workload
@@ -86,7 +91,7 @@ def run_all_experiments(
     # once and reused from the session's cache across both experiments.
     session = Session().system(wl).seed(seed).vectorize(vectorize)
     if workers is not None:
-        session.parallel(workers)
+        session.parallel(workers, scenario_transport=scenario_transport)
     overhead = run_overhead_experiment(wl, n_frames=n_frames, seed=seed, session=session)
     fig7 = run_fig7_experiment(wl, n_frames=n_frames, seed=seed, session=session)
     fig8 = run_fig8_experiment(wl, seed=seed)
@@ -113,12 +118,19 @@ def main(argv: list[str] | None = None) -> int:
         default="auto",
         help="cycle engine: vectorised NumPy kernels (auto/always) or the scalar loop",
     )
+    parser.add_argument(
+        "--scenario-transport",
+        choices=("value", "redraw"),
+        default="value",
+        help="parallel compare scenario transport (only meaningful with --workers)",
+    )
     arguments = parser.parse_args(argv)
     result = run_all_experiments(
         fast=arguments.fast,
         seed=arguments.seed,
         workers=arguments.workers,
         vectorize=arguments.vectorize,
+        scenario_transport=arguments.scenario_transport,
     )
     print(result.render())
     return 0

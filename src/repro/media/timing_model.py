@@ -19,6 +19,7 @@ exactly the structure of the paper's 29-frame experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -109,6 +110,57 @@ class EncoderTimingModel:
     # ------------------------------------------------------------------ #
     # per-frame scenarios
     # ------------------------------------------------------------------ #
+    def action_quality_factors(self) -> np.ndarray:
+        """Per-action quality multipliers, shape ``(levels, actions)``.
+
+        Column ``a`` is ``1 + slope_a * level`` — exactly what
+        ``stage.quality_factors`` returns per stage, precomputed for the whole
+        action sequence so the batched sampler multiplies one matrix instead
+        of looping per action.
+        """
+        slopes = np.array(
+            [stage.quality_slope for stage in self.pipeline.action_stages()],
+            dtype=np.float64,
+        )
+        levels = np.arange(len(self.qualities), dtype=np.float64)
+        return 1.0 + levels[:, None] * slopes[None, :]
+
+    def frame_base_factors(self, frames: Sequence[FrameContent]) -> np.ndarray:
+        """The deterministic per-action base cost of every frame, ``(frames, actions)``.
+
+        Entry ``(f, a)`` is ``base_cost * content_factor * frame_type_factor``
+        — everything of :meth:`frame_matrix`'s per-action ``base`` except the
+        platform noise and the global time scale, evaluated with the same
+        floating-point operation order so the batched kernel stays
+        bit-identical to the scalar per-frame loop.
+        """
+        stages = self.pipeline.action_stages()
+        macroblocks = self.pipeline.action_macroblocks()
+        base_cost = np.array([s.base_cost for s in stages], dtype=np.float64)
+        content_weight = np.array([s.content_weight for s in stages], dtype=np.float64)
+        motion_weight = np.array([s.motion_weight for s in stages], dtype=np.float64)
+        # the constant term of PipelineStage.content_factor, per action
+        content_base = 1.0 - 0.5 * (content_weight + motion_weight)
+        type_factors = {
+            frame_type: np.array(
+                [s.frame_type_factors[frame_type] for s in stages], dtype=np.float64
+            )
+            for frame_type in {frame.frame_type for frame in frames}
+        }
+        result = np.empty((len(frames), len(stages)), dtype=np.float64)
+        for row, frame in enumerate(frames):
+            # per-action complexity/motion: the action's macroblock, or the
+            # frame mean for the finalisation action (macroblock index -1)
+            complexity = np.where(
+                macroblocks >= 0, frame.complexity[macroblocks], frame.mean_complexity
+            )
+            motion = np.where(
+                macroblocks >= 0, frame.motion[macroblocks], frame.mean_motion
+            )
+            content = content_base + content_weight * complexity + motion_weight * motion
+            result[row] = base_cost * content * type_factors[frame.frame_type]
+        return result
+
     def frame_matrix(self, frame: FrameContent, rng: np.random.Generator) -> np.ndarray:
         """Actual times (levels x actions) of one cycle encoding ``frame``."""
         n_levels = len(self.qualities)
@@ -150,8 +202,19 @@ class FrameScenarioSampler:
     generated once up-front so that different managers compared on the same
     sampler *instance order* see the same video; for bitwise-identical
     comparisons across managers use pre-drawn scenarios (see
-    :meth:`repro.platform.executor.PlatformExecutor.compare`).
+    :meth:`repro.api.session.Session.compare`).
+
+    The deterministic per-frame cost structure (content and frame-type
+    factors per action, quality multipliers per level) is precomputed at
+    construction, so :meth:`sample_batch` is a pure NumPy kernel: one
+    ``rng.normal`` call for all platform noise of the batch, one broadcast
+    multiply for the ``(count, levels, actions)`` tensor — bit-identical to
+    ``count`` scalar :meth:`EncoderTimingModel.frame_matrix` calls.
     """
+
+    #: every sample_batch result is a freshly-allocated array the sampler no
+    #: longer references — TimingModel may consume it in place
+    returns_fresh_batches = True
 
     def __init__(
         self,
@@ -167,6 +230,12 @@ class FrameScenarioSampler:
         self._frames = video.frame_list(n_frames, model.gop.types())
         self._cursor = 0
         self._seed = seed
+        # deterministic per-frame/per-action base costs and per-level quality
+        # multipliers; the only per-draw randomness left is the platform noise
+        self._frame_base = model.frame_base_factors(self._frames)
+        self._quality_factors = model.action_quality_factors()
+        self._frame_base.setflags(write=False)
+        self._quality_factors.setflags(write=False)
 
     @property
     def frames(self) -> list[FrameContent]:
@@ -211,16 +280,29 @@ class FrameScenarioSampler:
         :meth:`repro.core.timing.TimingModel.sample_scenarios`: one
         ``(count, levels, actions)`` array covering the next ``count`` frames
         of the sequence, consuming the rng and advancing the cursor exactly
-        like ``count`` single draws.
+        like ``count`` single draws.  This is a true NumPy kernel over the
+        factor arrays precomputed at construction — no per-frame Python loop
+        — and draws all platform noise in a single ``rng.normal`` call whose
+        variate order matches the scalar loop bit-for-bit (NumPy generators
+        fill arrays element by element from one underlying bit stream).
         """
         count = int(count)
         if count < 0:
             raise ValueError(f"batch size must be >= 0, got {count}")
+        n_actions = self._frame_base.shape[1]
         if count == 0:
-            n_levels = len(self._model.qualities)
-            n_actions = len(self._model.pipeline.action_stages())
-            return np.empty((0, n_levels, n_actions), dtype=np.float64)
-        return np.stack([self(rng) for _ in range(count)])
+            return np.empty((0, self._quality_factors.shape[0], n_actions))
+        rows = (self._cursor + np.arange(count)) % len(self._frames)
+        self._cursor += count
+        base = self._frame_base[rows]
+        noise = self._model.platform_noise
+        if noise > 0.0:
+            base = base * np.exp(rng.normal(0.0, noise, size=(count, n_actions)))
+        # multiplying by the all-ones noise of the noiseless scalar path is an
+        # exact identity, so it is skipped; the time scale applies after noise
+        # to preserve the scalar operation order
+        base = base * self._model.time_scale
+        return base[:, None, :] * self._quality_factors[None, :, :]
 
     def __call__(self, rng: np.random.Generator) -> np.ndarray:
         frame = self._frames[self._cursor % len(self._frames)]

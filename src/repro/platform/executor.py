@@ -17,7 +17,7 @@ from repro.core.controller import run_cycle
 from repro.core.deadlines import DeadlineFunction
 from repro.core.manager import QualityManager
 from repro.core.system import CycleOutcome, ParameterizedSystem
-from repro.core.timing import ActualTimeScenario
+from repro.core.timing import ActualTimeScenario, ScenarioBatch
 from repro.core.validation import TraceAudit, audit_trace
 
 from .machine import Machine, ipod_video
@@ -136,13 +136,14 @@ class PlatformExecutor:
         *,
         n_cycles: int = 1,
         rng: np.random.Generator | None = None,
-        scenarios: list[ActualTimeScenario] | None = None,
+        scenarios: ScenarioBatch | list[ActualTimeScenario] | None = None,
     ) -> RunResult:
         """Execute ``n_cycles`` cycles and return the collected results.
 
         ``scenarios`` pins the actual execution times of every cycle so that
         different managers can be compared on identical inputs (the setting of
-        Figures 7 and 8).
+        Figures 7 and 8) — a :class:`~repro.core.timing.ScenarioBatch` or a
+        list of per-cycle scenarios.
         """
         if n_cycles < 1:
             raise ValueError(f"n_cycles must be >= 1, got {n_cycles}")
@@ -195,13 +196,14 @@ class PlatformExecutor:
     ) -> dict[str, RunResult]:
         """Run several managers on *identical* per-cycle scenarios.
 
-        The scenarios are drawn once from the deployed system and re-used for
+        The scenarios are drawn once from the deployed system — as one
+        columnar :class:`~repro.core.timing.ScenarioBatch` — and re-used for
         every manager, which is how the paper compares its three Quality
         Managers on the same 29-frame input sequence.
         """
         deployed = self._machine.deploy(system)
         rng = np.random.default_rng(seed)
-        scenarios = [deployed.draw_scenario(rng) for _ in range(n_cycles)]
+        scenarios = deployed.draw_scenarios(n_cycles, rng)
         results: dict[str, RunResult] = {}
         for label, manager in managers.items():
             results[label] = self.run(

@@ -33,7 +33,17 @@ from .artifacts import (
     compile_key,
     default_cache_dir,
 )
-from .plan import ExecutionPayload, PlanError, SweepPlan, SweepUnit, spawn_seeds, unique_label
+from .plan import (
+    ExecutionPayload,
+    PlanError,
+    SweepPlan,
+    SweepUnit,
+    plan_compare,
+    plan_compare_redraw,
+    plan_run_many,
+    spawn_seeds,
+    unique_label,
+)
 from .pool import SweepExecutionError, SweepExecutor, SweepOutcome, UnitFailure
 
 __all__ = [
@@ -49,6 +59,9 @@ __all__ = [
     "PlanError",
     "SweepPlan",
     "SweepUnit",
+    "plan_run_many",
+    "plan_compare",
+    "plan_compare_redraw",
     "spawn_seeds",
     "unique_label",
     # pool

@@ -33,7 +33,7 @@ from repro.api.registry import ManagerSpec
 from repro.core.deadlines import DeadlineFunction
 from repro.core.policy import QualityManagementPolicy
 from repro.core.system import ParameterizedSystem
-from repro.core.timing import ActualTimeScenario
+from repro.core.timing import ActualTimeScenario, ScenarioBatch, supports_replay
 
 __all__ = [
     "PlanError",
@@ -42,6 +42,7 @@ __all__ = [
     "SweepPlan",
     "plan_run_many",
     "plan_compare",
+    "plan_compare_redraw",
     "spawn_seeds",
     "unique_label",
 ]
@@ -113,13 +114,24 @@ class ExecutionPayload:
 class SweepUnit:
     """One independent work unit of a sweep.
 
-    Exactly one of two execution modes applies:
+    Exactly one of three execution modes applies:
 
-    * ``scenarios`` is ``None`` — the worker draws ``cycles`` scenarios from
-      the system's own sampler (seeked to ``sampler_offset`` when the sampler
-      supports it) with a fresh ``default_rng(seed)``;
-    * ``scenarios`` is a tuple — the pre-drawn scenarios are replayed as-is
-      (the ``compare`` setting: identical inputs for every manager).
+    * ``scenarios`` is ``None``, ``redraw`` is false — the worker draws
+      ``cycles`` scenarios from the system's own sampler (seeked to
+      ``sampler_offset`` when the sampler supports it) with a fresh
+      ``default_rng(seed)``: the ``run_many`` setting, each unit consuming
+      its own slice of the shared scenario stream;
+    * ``scenarios`` is a :class:`~repro.core.timing.ScenarioBatch` — the
+      pre-drawn batch is replayed as-is, shipped to the worker as one
+      contiguous tensor (the ``compare`` ship-by-value setting: identical
+      inputs for every manager, transport cost ∝ tensor size);
+    * ``scenarios`` is ``None``, ``redraw`` is true — the worker re-draws the
+      *same* ``cycles``-long scenario window the parent would have drawn
+      (seek to ``sampler_offset``, then ``default_rng(seed)``), so every unit
+      sees identical inputs while the plan ships **no scenario data at all**
+      (the ``compare`` re-draw transport).  Re-draw units share one window:
+      they do not consume per-unit slices of the stream, so their ``draws``
+      is 0 and the compare layer advances the parent sampler once.
     """
 
     index: int
@@ -128,20 +140,35 @@ class SweepUnit:
     cycles: int
     seed: int | None = None
     sampler_offset: int | None = None
-    scenarios: tuple[ActualTimeScenario, ...] | None = None
+    scenarios: ScenarioBatch | None = None
+    redraw: bool = False
 
     def __post_init__(self) -> None:
         if self.cycles < 1:
             raise PlanError(f"unit {self.index}: cycles must be >= 1, got {self.cycles}")
-        if self.scenarios is not None and len(self.scenarios) != self.cycles:
-            raise PlanError(
-                f"unit {self.index}: {self.cycles} cycles but {len(self.scenarios)} scenarios"
-            )
+        if self.scenarios is not None:
+            if not isinstance(self.scenarios, ScenarioBatch):
+                # legacy tuple/list of per-cycle scenarios: stack it once
+                object.__setattr__(
+                    self, "scenarios", ScenarioBatch.coerce(self.scenarios)
+                )
+            if len(self.scenarios) != self.cycles:
+                raise PlanError(
+                    f"unit {self.index}: {self.cycles} cycles but "
+                    f"{len(self.scenarios)} scenarios"
+                )
+            if self.redraw:
+                raise PlanError(
+                    f"unit {self.index}: redraw mode ships no scenarios; "
+                    "pass scenarios=None"
+                )
 
     @property
     def draws(self) -> int:
         """Scenario draws this unit consumes from the shared sampler stream."""
-        return 0 if self.scenarios is not None else self.cycles
+        if self.scenarios is not None or self.redraw:
+            return 0
+        return self.cycles
 
 
 @dataclass(frozen=True)
@@ -198,6 +225,7 @@ def plan_run_many(
     entries: Sequence[tuple[str, ManagerSpec, int, int | None]],
     *,
     track_sampler: bool = True,
+    scenarios: Sequence[ScenarioBatch] | None = None,
 ) -> SweepPlan:
     """Build the plan of a ``run_many`` sweep.
 
@@ -206,7 +234,18 @@ def plan_run_many(
     path uses), and each unit receives the cumulative draw offset of the
     units before it.  ``track_sampler=False`` drops the offsets (for systems
     whose sampler is stateless or absent).
+
+    By default units ship no scenario data — each worker re-draws its slice
+    of the stream (seek to the offset, then ``default_rng(seed)``), exactly
+    what the serial loop does.  ``scenarios`` switches the plan to
+    ship-by-value: one pre-drawn :class:`~repro.core.timing.ScenarioBatch`
+    per entry (the caller drew them in entry order, so the parent sampler
+    already stands where the serial run would leave it).
     """
+    if scenarios is not None and len(scenarios) != len(entries):
+        raise PlanError(
+            f"{len(entries)} entries but {len(scenarios)} pre-drawn scenario batches"
+        )
     units: list[SweepUnit] = []
     taken: set[str] = set()
     offset = 0
@@ -221,6 +260,7 @@ def plan_run_many(
                 cycles=int(cycles),
                 seed=seed,
                 sampler_offset=offset if track_sampler else None,
+                scenarios=scenarios[index] if scenarios is not None else None,
             )
         )
         offset += int(cycles)
@@ -230,19 +270,21 @@ def plan_run_many(
 def plan_compare(
     payload: ExecutionPayload,
     specs: Sequence[ManagerSpec],
-    scenarios: Sequence[ActualTimeScenario],
+    scenarios: ScenarioBatch | Sequence[ActualTimeScenario],
 ) -> SweepPlan:
     """Build the plan of a manager comparison on pre-drawn scenarios.
 
-    Every unit replays the same scenario tuple, so no unit touches the shared
-    sampler stream (the parent already consumed the draws when it generated
-    ``scenarios``).  Unit labels are provisional (the spec string); the final
-    labels come from the executed managers' reporting names, as in the serial
-    path.
+    Every unit replays the same :class:`~repro.core.timing.ScenarioBatch`
+    (per-cycle sequences are stacked once here), so no unit touches the
+    shared sampler stream — the parent already consumed the draws when it
+    generated ``scenarios`` — and the plan ships one contiguous tensor per
+    unit instead of a pickled tuple of per-cycle objects.  Unit labels are
+    provisional (the spec string); the final labels come from the executed
+    managers' reporting names, as in the serial path.
     """
-    if not scenarios:
+    if not len(scenarios):
         raise PlanError("a compare plan needs at least one pre-drawn scenario")
-    shared = tuple(scenarios)
+    shared = ScenarioBatch.coerce(scenarios)
     units = tuple(
         SweepUnit(
             index=index,
@@ -252,6 +294,53 @@ def plan_compare(
             seed=None,
             sampler_offset=None,
             scenarios=shared,
+        )
+        for index, spec in enumerate(specs)
+    )
+    return SweepPlan(payload=payload, units=units)
+
+
+def plan_compare_redraw(
+    payload: ExecutionPayload,
+    specs: Sequence[ManagerSpec],
+    cycles: int,
+    seed: int,
+) -> SweepPlan:
+    """Build a compare plan whose workers re-draw the shared scenarios.
+
+    The ROADMAP's named fix for compare-transport cost: instead of shipping
+    the pre-drawn scenario tensor to every worker, each unit records only the
+    draw recipe — the scenario-stream offset (0: the window starts where the
+    payload system's sampler stands) and the base seed — and the worker
+    reproduces the exact batch the parent would have drawn.  Requires a
+    system whose sampler is absent or exposes ``seek``/``cursor`` (the
+    :class:`~repro.media.timing_model.FrameScenarioSampler` contract);
+    anything else is rejected here — a worker running several re-draw units
+    could not re-position such a sampler between them, so the units would
+    silently compare managers on *different* scenario windows.  The compare
+    layer checks the same precondition up front and falls back to
+    ship-by-value.
+    """
+    cycles = int(cycles)
+    if cycles < 1:
+        raise PlanError(f"a compare plan needs cycles >= 1, got {cycles}")
+    sampler = payload.system.timing.scenario_sampler
+    if sampler is not None and not supports_replay(sampler):
+        raise PlanError(
+            "re-draw compare units need a sampler the workers can re-position: "
+            f"{type(sampler).__name__} has no seek/cursor interface — ship the "
+            "scenarios by value (plan_compare) instead"
+        )
+    units = tuple(
+        SweepUnit(
+            index=index,
+            label=str(spec),
+            manager=spec,
+            cycles=cycles,
+            seed=int(seed),
+            sampler_offset=0,
+            scenarios=None,
+            redraw=True,
         )
         for index, spec in enumerate(specs)
     )

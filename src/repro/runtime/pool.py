@@ -38,6 +38,7 @@ from repro.api.registry import BuildContext, build_manager
 from repro.core.compiler import CompiledControllers, QualityManagerCompiler
 from repro.core.engine import run_cycles_batch
 from repro.core.system import CycleOutcome
+from repro.core.timing import supports_replay
 
 from .artifacts import CompiledArtifactCache
 from .plan import ExecutionPayload, SweepPlan, SweepUnit
@@ -154,17 +155,40 @@ class _WorkerRuntime:
             compile=self._compile,
         )
 
+    def _check_unit_scenarios(self, unit: SweepUnit) -> None:
+        """Reject shipped scenario tensors drawn for a different system.
+
+        Everything else about a unit's scenarios is already enforced by
+        construction (``SweepUnit`` coerces and length-checks the batch,
+        ``ScenarioBatch`` fixes the dtype and re-validates on unpickle) —
+        but only the worker knows the *hydrated* system, so the per-cycle
+        footprint is checked here: a mismatched tensor would otherwise
+        surface as a deep NumPy broadcast or indexing error from inside the
+        engine instead of a clear per-unit failure.
+        """
+        expected = (len(self._exec_system.qualities), self._exec_system.n_actions)
+        tensor = unit.scenarios.tensor
+        if tensor.shape[1:] != expected:
+            raise ValueError(
+                f"unit {unit.index} ({unit.label!r}): scenario tensor has "
+                f"per-cycle shape {tensor.shape[1:]}, but the hydrated system "
+                f"expects (levels, actions) = {expected}"
+            )
+
     def execute(self, unit: SweepUnit) -> tuple[str, tuple[CycleOutcome, ...]]:
         """Run one unit and return ``(manager_name, outcomes)``.
 
         Units run through :func:`~repro.core.engine.run_cycles_batch`: each
         shard executes its chunk vectorised when the unit's manager lowers to
         a decision kernel, and through the scalar loop otherwise — in both
-        cases bit-identical to the serial baseline.
+        cases bit-identical to the serial baseline.  Shipped scenario batches
+        are validated against the hydrated system first; draw and re-draw
+        units position the sampler stream and draw their own batch.
         """
         manager = build_manager(unit.manager, self._context())
         vectorize = getattr(self._payload, "vectorize", "auto")
         if unit.scenarios is not None:
+            self._check_unit_scenarios(unit)
             outcomes = run_cycles_batch(
                 self._exec_system,
                 manager,
@@ -176,7 +200,7 @@ class _WorkerRuntime:
         if (
             unit.sampler_offset is not None
             and self._base_cursor is not None
-            and hasattr(self._sampler, "seek")
+            and supports_replay(self._sampler)
         ):
             self._sampler.seek(self._base_cursor + unit.sampler_offset)
         outcomes = run_cycles_batch(
@@ -307,10 +331,10 @@ class SweepExecutor:
             raise SweepExecutionError(
                 (),
                 "the execution payload is not picklable and cannot be shipped to "
-                f"workers ({error!r}); systems built from an EncoderWorkload are "
-                "picklable, but systems wrapped by rescaled()/truncated() carry "
-                "closure samplers and are not — pass the unwrapped system plus a "
-                "machine, or run the sweep serially",
+                f"workers ({error!r}); systems built from an EncoderWorkload (and "
+                "their rescaled()/truncated() derivatives) are picklable, but a "
+                "custom closure/lambda scenario sampler is not — use a module-level "
+                "sampler class, or run the sweep serially",
             ) from error
 
     def _run_inline(

@@ -37,6 +37,21 @@ class TestParser:
         args = build_parser().parse_args(["compare", "--managers", "numeric,skip"])
         assert args.managers == "numeric,skip"
 
+    def test_sweep_scenario_transport_flag(self):
+        # redraw is the grid sweep's historical behavior (workers draw)
+        args = build_parser().parse_args(["sweep"])
+        assert args.scenario_transport == "redraw"
+        args = build_parser().parse_args(["sweep", "--scenario-transport", "value"])
+        assert args.scenario_transport == "value"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--scenario-transport", "telegraph"])
+
+    def test_experiments_scenario_transport_flag(self):
+        args = build_parser().parse_args(
+            ["experiments", "--scenario-transport", "redraw"]
+        )
+        assert args.scenario_transport == "redraw"
+
 
 class TestCommands:
     def test_info_prints_paper_numbers(self, capsys):
@@ -80,3 +95,30 @@ class TestCommands:
     def test_compare_rejects_unknown_manager(self, capsys):
         assert main(["compare", "--small", "--frames", "2", "--managers", "bogus"]) == 2
         assert "unknown manager key" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("transport", ["redraw", "value"])
+    def test_sweep_runs_with_both_transports(
+        self, capsys, tmp_path, monkeypatch, transport
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--small",
+                    "--managers",
+                    "relaxation",
+                    "--scenarios",
+                    "2",
+                    "--cycles",
+                    "2",
+                    "--workers",
+                    "1",
+                    "--scenario-transport",
+                    transport,
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Sweep: 2 scenarios x 2 cycles (1 worker(s))" in output

@@ -310,7 +310,9 @@ class TestBatchedDraws:
 
     def test_zero_and_negative_counts(self, setup):
         system, _, _ = setup
-        assert system.draw_scenarios(0, np.random.default_rng(0)) == ()
+        empty = system.draw_scenarios(0, np.random.default_rng(0))
+        assert len(empty) == 0 and empty.scenarios() == ()
+        assert empty.tensor.shape == (0, len(system.qualities), system.n_actions)
         with pytest.raises(ValueError):
             system.draw_scenarios(-1, np.random.default_rng(0))
 
