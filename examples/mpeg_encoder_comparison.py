@@ -6,11 +6,14 @@ Builds the MPEG-like encoder workload (CIF frames, 1,189 actions per frame,
 Managers of §4.1 and runs them over a short frame sequence on the iPod-like
 virtual platform, printing the §4.2 overhead table and the Figure 7 series.
 
-Run with ``python examples/mpeg_encoder_comparison.py [n_frames]``.
+Run with ``python examples/mpeg_encoder_comparison.py [n_frames]``.  The
+``REPRO_EXAMPLE_CYCLES`` environment variable caps the frame count (the
+documentation smoke tests set it to keep every example minimal).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -23,6 +26,7 @@ from repro.platform import relaxation_steps_used
 
 
 def main(n_frames: int = 8) -> None:
+    n_frames = min(n_frames, int(os.environ.get("REPRO_EXAMPLE_CYCLES", n_frames)))
     workload = paper_encoder(seed=0).with_overrides(n_frames=n_frames)
     session = Session().system(workload).machine("ipod").seed(1)
     system = session.resolved_system()

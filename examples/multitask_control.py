@@ -6,11 +6,14 @@ hyper-cycle with per-task deadlines, compiles the symbolic controller for the
 composed system (the multi-deadline ``t^D`` handles both deadlines at once)
 and reports per-task quality and safety.
 
-Run with ``python examples/multitask_control.py``.
+Run with ``python examples/multitask_control.py``.  The
+``REPRO_EXAMPLE_CYCLES`` environment variable caps the cycle count (the
+documentation smoke tests set it).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -53,8 +56,9 @@ def main() -> None:
     )
 
     rng = np.random.default_rng(2)
+    n_cycles = min(5, int(os.environ.get("REPRO_EXAMPLE_CYCLES", 5)))
     print("\ncycle  video-quality  audio-quality  video-safe  audio-safe  calls")
-    for cycle in range(5):
+    for cycle in range(n_cycles):
         outcome = run_cycle(composed.system, controllers.relaxation, rng=rng)
         audit = audit_trace(outcome, composed.deadlines)
         per_task = per_task_quality(composed, outcome)

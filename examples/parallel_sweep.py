@@ -15,10 +15,13 @@ Shows the :mod:`repro.runtime` layer end to end:
 Run with ``python examples/parallel_sweep.py``.  The artifact cache lands in
 a temporary directory here; real deployments use the default
 ``~/.cache/repro/compiled`` or point ``REPRO_CACHE_DIR`` somewhere shared.
+The ``REPRO_EXAMPLE_CYCLES`` environment variable caps the per-scenario
+cycle count (the documentation smoke tests set it).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import tempfile
 import time
@@ -34,7 +37,7 @@ from repro.runtime import spawn_seeds
 
 MANAGERS = ("relaxation", "region", "constant:level=4")
 SCENARIOS_PER_MANAGER = 4
-CYCLES = 3
+CYCLES = min(3, int(os.environ.get("REPRO_EXAMPLE_CYCLES", 3)))
 
 
 def build_session(cache_dir: Path) -> Session:

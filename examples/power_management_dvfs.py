@@ -7,11 +7,14 @@ deadline in the worst case — minimising energy without ever missing a
 deadline.  Compares against running everything at the maximum frequency and
 against a race-to-idle-style static middle frequency.
 
-Run with ``python examples/power_management_dvfs.py``.
+Run with ``python examples/power_management_dvfs.py``.  The
+``REPRO_EXAMPLE_CYCLES`` environment variable caps the cycle count (the
+documentation smoke tests set it).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -35,7 +38,7 @@ def main() -> None:
     )
 
     rng = np.random.default_rng(5)
-    n_cycles = 10
+    n_cycles = min(10, int(os.environ.get("REPRO_EXAMPLE_CYCLES", 10)))
     totals: dict[str, float] = {"managed": 0.0, "max-frequency": 0.0, "static-middle": 0.0}
     misses: dict[str, int] = {key: 0 for key in totals}
 

@@ -199,6 +199,7 @@ class Session:
         self._artifacts: Any = None  # runtime.CompiledArtifactCache | None
         self._artifacts_disabled: bool = False  # explicit .artifacts(False)
         self._parallel: dict[str, Any] | None = None
+        self._remote: dict[str, Any] | None = None
         self._vectorize: str = "auto"
 
     # ------------------------------------------------------------------ #
@@ -462,6 +463,70 @@ class Session:
         }
         return self
 
+    def remote(
+        self,
+        spool: str | os.PathLike | None = None,
+        *,
+        lease_timeout: float | None = None,
+        poll_interval: float | None = None,
+        max_requeues: int | None = None,
+        timeout: float | None = None,
+        local_workers: int = 0,
+        scenario_transport: str | None = None,
+        enabled: bool = True,
+    ) -> "Session":
+        """Fan :meth:`run_many` and :meth:`compare` out over a shared spool.
+
+        The multi-machine sibling of :meth:`parallel`: the sweep's work units
+        are written as tiny files into ``spool`` (a directory on a local or
+        shared filesystem), any number of ``repro worker --spool DIR``
+        processes — on this or other hosts — claim and execute them, and the
+        parent streams the results back in.  Results are bit-identical to
+        the serial path for fixed seeds, whatever the worker count or claim
+        order.  See :class:`~repro.runtime.remote.RemoteSweepExecutor` for
+        ``lease_timeout`` / ``poll_interval`` / ``max_requeues`` / ``timeout``
+        semantics and ``docs/distributed-sweeps.md`` for the operational
+        runbook.
+
+        ``local_workers=N`` spawns N worker subprocesses on this machine for
+        the duration of each run — the zero-setup way to use the spool
+        transport (and what the tests do); with ``local_workers=0`` the run
+        blocks until external workers drain the plan (set ``timeout`` when
+        workers might not be attached).  ``scenario_transport`` defaults to
+        ``"redraw"`` here — remote units ship ~200 bytes each, no scenario
+        tensors cross the wire (samplers that cannot replay fall back to
+        ship-by-value).  ``run_many(..., stream=True)`` / ``compare(...,
+        stream=True)`` then yield ``(label, RunResult)`` pairs incrementally
+        as workers finish.  A configured :meth:`remote` takes precedence over
+        :meth:`parallel`; disable with ``.remote(enabled=False)``.
+        """
+        if not enabled:
+            self._remote = None
+            return self
+        if spool is None:
+            raise SessionError("remote(...) needs a spool directory")
+        if lease_timeout is not None and lease_timeout <= 0.0:
+            raise SessionError(f"lease_timeout must be > 0, got {lease_timeout}")
+        if poll_interval is not None and poll_interval <= 0.0:
+            raise SessionError(f"poll_interval must be > 0, got {poll_interval}")
+        if max_requeues is not None and max_requeues < 0:
+            raise SessionError(f"max_requeues must be >= 0, got {max_requeues}")
+        if timeout is not None and timeout <= 0.0:
+            raise SessionError(f"timeout must be > 0, got {timeout}")
+        if local_workers < 0:
+            raise SessionError(f"local_workers must be >= 0, got {local_workers}")
+        self._check_transport(scenario_transport)
+        self._remote = {
+            "spool": os.fspath(spool),
+            "lease_timeout": lease_timeout,
+            "poll_interval": poll_interval,
+            "max_requeues": max_requeues,
+            "timeout": timeout,
+            "local_workers": int(local_workers),
+            "scenario_transport": scenario_transport,
+        }
+        return self
+
     # ------------------------------------------------------------------ #
     # resolution (lazy; everything heavy is cached)
     # ------------------------------------------------------------------ #
@@ -686,7 +751,8 @@ class Session:
         progress: Any = None,
         vectorize: Any = None,
         scenario_transport: str | None = None,
-    ) -> BatchResult:
+        stream: bool = False,
+    ) -> BatchResult | Iterator[tuple[str, RunResult]]:
         """Run several managers on *identical* per-cycle scenarios.
 
         This is the paper's comparison setting (Figures 7/8): the scenarios
@@ -705,6 +771,14 @@ class Session:
         called as ``progress(done, total, spec)`` after each completed
         manager, where ``spec`` is the manager spec string (the *result*
         labels are the managers' reporting names, de-duplicated).
+
+        With a configured :meth:`remote` spool the comparison fans out over
+        the spool instead of the in-process pool (scenarios default to the
+        re-draw transport there), and ``stream=True`` returns an iterator of
+        ``(label, RunResult)`` pairs yielded incrementally as workers finish
+        — completion order, not spec order.  Failed units raise a collective
+        :class:`~repro.runtime.pool.SweepExecutionError` after the stream
+        drains.
         """
         from repro.runtime.plan import unique_label
 
@@ -724,17 +798,23 @@ class Session:
 
         mode = self._effective_vectorize(vectorize)
         pool_config = self._pool_config(parallel, workers)
+        self._check_stream(stream, pool_config)
         use_pool = pool_config is not None and n_cycles > 0
         if use_pool:
-            transport = self._effective_transport(scenario_transport, pool_config)
+            # remote units default to the re-draw transport: ~200 bytes per
+            # unit instead of a scenario tensor crossing the spool
+            default = "redraw" if pool_config.get("remote") else "value"
+            transport = self._effective_transport(
+                scenario_transport, pool_config, default=default
+            )
             if transport == "redraw" and self._redraw_supported():
                 return self._compare_parallel_redraw(
-                    chosen, n_cycles, used_seed, pool_config, progress, mode
+                    chosen, n_cycles, used_seed, pool_config, progress, mode, stream
                 )
         scenarios = system.draw_scenarios(n_cycles, np.random.default_rng(used_seed))
         if use_pool:
             return self._compare_parallel(
-                chosen, scenarios, used_seed, pool_config, progress, mode
+                chosen, scenarios, used_seed, pool_config, progress, mode, stream
             )
 
         context = self.build_context()
@@ -762,6 +842,10 @@ class Session:
                 # the spec string, exactly what the parallel path reports
                 # (final labels need the executed managers' names)
                 progress(index + 1, len(chosen), str(spec))
+        if stream:
+            # edge inputs (cycles <= 0) skip the spool but must keep the
+            # documented (label, RunResult) iterator shape
+            return iter(runs.items())
         return BatchResult(runs=runs)
 
     def run_many(
@@ -773,7 +857,8 @@ class Session:
         progress: Any = None,
         vectorize: Any = None,
         scenario_transport: str | None = None,
-    ) -> BatchResult:
+        stream: bool = False,
+    ) -> BatchResult | Iterator[tuple[str, RunResult]]:
         """Run a batch of scenario specs and collect every result.
 
         Entries may be :class:`ScenarioSpec` objects, dicts with the same
@@ -799,6 +884,13 @@ class Session:
         ships the :class:`~repro.core.timing.ScenarioBatch` tensors; results
         are bit-identical either way.  ``progress`` is called as
         ``progress(done, total, label)`` after each scenario.
+
+        With a configured :meth:`remote` spool the sweep fans out over the
+        spool instead of the in-process pool, and ``stream=True`` returns an
+        iterator of ``(label, RunResult)`` pairs yielded incrementally as
+        workers finish (completion order).  Failed units raise a collective
+        :class:`~repro.runtime.pool.SweepExecutionError` after the stream
+        drains.
         """
         from repro.runtime.plan import unique_label
 
@@ -841,9 +933,10 @@ class Session:
 
         mode = self._effective_vectorize(vectorize)
         pool_config = self._pool_config(parallel, workers)
+        self._check_stream(stream, pool_config)
         if pool_config is not None and entries:
             return self._run_many_parallel(
-                entries, pool_config, progress, mode, scenario_transport
+                entries, pool_config, progress, mode, scenario_transport, stream
             )
 
         context = self.build_context()
@@ -873,6 +966,10 @@ class Session:
             )
             if progress is not None:
                 progress(index + 1, len(entries), final_label)
+        if stream:
+            # an empty spec list skips the spool but must keep the
+            # documented (label, RunResult) iterator shape
+            return iter(runs.items())
         return BatchResult(runs=runs)
 
     # ------------------------------------------------------------------ #
@@ -885,10 +982,26 @@ class Session:
 
         Explicit ``parallel=False`` always wins; ``parallel=True`` or a
         ``workers`` count always selects the pool; otherwise the builder's
-        :meth:`parallel` configuration decides.
+        :meth:`parallel` configuration decides.  A configured :meth:`remote`
+        spool takes precedence over the in-process pool — the returned config
+        then carries a ``"remote"`` entry and ``workers`` (if given) overrides
+        its ``local_workers`` count.
         """
         if parallel is False:
             return None
+        if self._remote is not None:
+            config = {
+                "workers": int(workers) if workers is not None else None,
+                "chunk_size": None,
+                "mp_context": None,
+                "scenario_transport": self._remote.get("scenario_transport"),
+                "remote": self._remote,
+            }
+            # 0 is meaningful on the spool transport: no local workers,
+            # rely on external `repro worker` processes
+            if config["workers"] is not None and config["workers"] < 0:
+                raise SessionError(f"workers must be >= 0 on a spool, got {workers}")
+            return config
         if parallel is None and workers is None and self._parallel is None:
             return None
         config = dict(
@@ -906,6 +1019,21 @@ class Session:
                 raise SessionError(f"workers must be >= 1, got {workers}")
             config["workers"] = int(workers)
         return config
+
+    def _check_stream(self, stream: bool, pool_config: dict[str, Any] | None) -> None:
+        """Streaming fan-in only exists on the spool transport."""
+        if not stream or (pool_config is not None and pool_config.get("remote") is not None):
+            return
+        if self._remote is not None:
+            # a spool IS configured; the explicit parallel=False disabled it
+            raise SessionError(
+                "stream=True conflicts with parallel=False — the configured "
+                "spool transport is disabled for this call"
+            )
+        raise SessionError(
+            "stream=True needs the spool transport — configure "
+            "Session.remote(spool=...) first"
+        )
 
     @staticmethod
     def _check_transport(value: str | None) -> None:
@@ -1024,8 +1152,45 @@ class Session:
             vectorize=self._vectorize if vectorize is None else vectorize,
         )
 
-    @staticmethod
-    def _executor_for(config: dict[str, Any]):
+    def _executor_for(self, config: dict[str, Any]):
+        remote = config.get("remote")
+        if remote is not None:
+            from repro.runtime.remote import (
+                DEFAULT_LEASE_TIMEOUT,
+                DEFAULT_MAX_REQUEUES,
+                DEFAULT_POLL_INTERVAL,
+                RemoteSweepExecutor,
+            )
+
+            workers = config.get("workers")
+            cache = self._parallel_artifact_cache()
+            return RemoteSweepExecutor(
+                remote["spool"],
+                lease_timeout=(
+                    remote["lease_timeout"]
+                    if remote["lease_timeout"] is not None
+                    else DEFAULT_LEASE_TIMEOUT
+                ),
+                poll_interval=(
+                    remote["poll_interval"]
+                    if remote["poll_interval"] is not None
+                    else DEFAULT_POLL_INTERVAL
+                ),
+                max_requeues=(
+                    remote["max_requeues"]
+                    if remote["max_requeues"] is not None
+                    else DEFAULT_MAX_REQUEUES
+                ),
+                timeout=remote["timeout"],
+                local_workers=workers if workers is not None else remote["local_workers"],
+                source_cache=cache,
+                # locally-spawned workers hydrate from the session's cache,
+                # not the user's global one — .artifacts(dir) stays isolating
+                worker_cache_dir=str(cache.root) if cache is not None else None,
+                # an explicit .artifacts(False) opts the spool transport out
+                # of artifact sync too: workers compile locally
+                sync_artifacts=not self._artifacts_disabled,
+            )
         from repro.runtime.pool import SweepExecutor
 
         return SweepExecutor(
@@ -1040,6 +1205,34 @@ class Session:
             return None
         return lambda done, total, unit: progress(done, total, unit.label)
 
+    @staticmethod
+    def _sweep_consumed_window(error: BaseException) -> bool:
+        """The one advance-on-failure policy for every parallel run shape.
+
+        Unit failures mean the sweep ran — the parent sampler must advance so
+        a caller that catches and continues stays on the serial scenario
+        stream.  A transport failure (submit error, timeout: an executor
+        error with no per-unit ``failures`` attached) means no scenario
+        window was consumed, and a serial retry must still see it.
+        """
+        return bool(getattr(error, "failures", ()))
+
+    def _run_plan_advancing(
+        self, executor: Any, plan: Any, progress: Any, advance: Any
+    ):
+        """Run a plan, calling ``advance()`` iff the sweep consumed its window."""
+        swept = False  # KeyboardInterrupt/SystemExit mid-sweep must not advance
+        try:
+            result = executor.run(plan, progress=self._adapt_progress(progress))
+            swept = True
+            return result
+        except Exception as error:
+            swept = self._sweep_consumed_window(error)
+            raise
+        finally:
+            if swept:
+                advance()
+
     def _run_many_parallel(
         self,
         entries: Sequence[tuple[str, ManagerSpec, int, int]],
@@ -1047,7 +1240,8 @@ class Session:
         progress: Any,
         vectorize: str | None = None,
         scenario_transport: str | None = None,
-    ) -> BatchResult:
+        stream: bool = False,
+    ) -> BatchResult | Iterator[tuple[str, RunResult]]:
         from repro.runtime.plan import plan_run_many
 
         cache = self._parallel_artifact_cache()
@@ -1066,9 +1260,18 @@ class Session:
                 for _, _, n_cycles, seed in entries
             ]
         plan = plan_run_many(payload, entries, track_sampler=track, scenarios=batches)
-        outcome = self._executor_for(config).run(
-            plan, progress=self._adapt_progress(progress)
-        )
+        executor = self._executor_for(config)
+        if stream:
+            return self._stream_plan(
+                plan, executor, progress, seed_from_unit=True, advance_draws=track
+            )
+        def advance() -> None:
+            if track and plan.total_draws:
+                # leave the shared scenario stream exactly where a serial
+                # run would
+                sampler.seek(sampler.cursor + plan.total_draws)
+
+        outcome = self._run_plan_advancing(executor, plan, progress, advance)
         deadlines = self.resolved_deadlines()
         machine_name = self._machine.name if self._machine is not None else None
         runs: dict[str, RunResult] = {}
@@ -1081,9 +1284,6 @@ class Session:
                 seed=unit.seed,
                 machine_name=machine_name,
             )
-        if track and plan.total_draws:
-            # leave the shared scenario stream exactly where a serial run would
-            sampler.seek(sampler.cursor + plan.total_draws)
         return BatchResult(runs=runs)
 
     def _compare_parallel(
@@ -1094,7 +1294,8 @@ class Session:
         config: dict[str, Any],
         progress: Any,
         vectorize: str | None = None,
-    ) -> BatchResult:
+        stream: bool = False,
+    ) -> BatchResult | Iterator[tuple[str, RunResult]]:
         """Ship-by-value compare: every unit carries the pre-drawn batch tensor."""
         from repro.runtime.plan import plan_compare
 
@@ -1102,9 +1303,10 @@ class Session:
         self._prepare_parallel_cache(cache, list(chosen))
         payload = self._execution_payload(cache, vectorize)
         plan = plan_compare(payload, list(chosen), scenarios)
-        outcome = self._executor_for(config).run(
-            plan, progress=self._adapt_progress(progress)
-        )
+        executor = self._executor_for(config)
+        if stream:
+            return self._stream_plan(plan, executor, progress, fixed_seed=used_seed)
+        outcome = executor.run(plan, progress=self._adapt_progress(progress))
         return self._collect_compare_runs(plan, outcome, used_seed)
 
     def _compare_parallel_redraw(
@@ -1115,7 +1317,8 @@ class Session:
         config: dict[str, Any],
         progress: Any,
         vectorize: str | None = None,
-    ) -> BatchResult:
+        stream: bool = False,
+    ) -> BatchResult | Iterator[tuple[str, RunResult]]:
         """Re-draw compare: units ship no scenario data, workers re-draw them.
 
         The payload's system still carries the sampler position the serial
@@ -1130,13 +1333,99 @@ class Session:
         self._prepare_parallel_cache(cache, list(chosen))
         payload = self._execution_payload(cache, vectorize)
         plan = plan_compare_redraw(payload, list(chosen), n_cycles, used_seed)
-        outcome = self._executor_for(config).run(
-            plan, progress=self._adapt_progress(progress)
-        )
-        sampler = payload.system.timing.scenario_sampler
-        if supports_replay(sampler):
-            sampler.seek(sampler.cursor + n_cycles)
+        executor = self._executor_for(config)
+        if stream:
+            return self._stream_plan(
+                plan, executor, progress, fixed_seed=used_seed, advance_cycles=n_cycles
+            )
+        def advance() -> None:
+            sampler = payload.system.timing.scenario_sampler
+            if supports_replay(sampler):
+                sampler.seek(sampler.cursor + n_cycles)
+
+        outcome = self._run_plan_advancing(executor, plan, progress, advance)
         return self._collect_compare_runs(plan, outcome, used_seed)
+
+    def _stream_plan(
+        self,
+        plan: Any,
+        executor: Any,
+        progress: Any,
+        *,
+        seed_from_unit: bool = False,
+        fixed_seed: int | None = None,
+        advance_draws: bool = False,
+        advance_cycles: int | None = None,
+    ) -> Iterator[tuple[str, RunResult]]:
+        """Yield ``(label, RunResult)`` pairs as spool workers finish units.
+
+        The incremental fan-in behind ``run_many(stream=True)`` and
+        ``compare(stream=True)``: results arrive in completion order.  Labels
+        are the units' plan labels when ``seed_from_unit`` (``run_many``:
+        unique by construction) and the executed managers' reporting names —
+        de-duplicated in arrival order — otherwise (``compare``).  After the
+        stream drains, the parent's scenario sampler is advanced to where a
+        serial run would leave it (``advance_draws`` for ``run_many`` plans,
+        ``advance_cycles`` for re-draw compare windows), and any failed units
+        are raised collectively as a
+        :class:`~repro.runtime.pool.SweepExecutionError`.  The sampler
+        advance also happens when the consumer abandons the iterator early
+        (``break``/``close()``) — the sweep was submitted, so the session's
+        scenario stream must end at the serial position either way; failures
+        are only raised on a full drain (an early break opts out of them).
+        """
+        from repro.runtime.plan import unique_label
+        from repro.runtime.pool import UnitFailure
+
+        deadlines = self.resolved_deadlines()
+        machine_name = self._machine.name if self._machine is not None else None
+        taken: set[str] = set()
+        failures: list[Any] = []
+        advance = True
+        source = executor.stream(plan, progress=self._adapt_progress(progress))
+        try:
+            for index, success, head, tail in source:
+                unit = plan.units[index]
+                if not success:
+                    failures.append(
+                        UnitFailure(index=index, label=unit.label, error=head, traceback=tail)
+                    )
+                    continue
+                label = unit.label if seed_from_unit else unique_label(taken, head, index)
+                taken.add(label)
+                yield label, RunResult(
+                    manager_key=unit.manager.key,
+                    manager_name=head,
+                    outcomes=tail,
+                    deadlines=deadlines,
+                    seed=unit.seed if seed_from_unit else fixed_seed,
+                    machine_name=machine_name,
+                )
+        except GeneratorExit:
+            # early break/close: the plan was submitted and partial results
+            # were consumed — the documented contract still advances
+            raise
+        except BaseException as error:
+            # transport failures (submit error, timeout) and interrupts
+            # consumed no window; unit failures are collected locally and
+            # never raised by the source
+            advance = self._sweep_consumed_window(error)
+            raise
+        finally:
+            # deterministic even on early break/close: withdraw the plan from
+            # the spool and leave the scenario stream at the serial position
+            source.close()
+            sampler = plan.payload.system.timing.scenario_sampler
+            if advance:
+                if advance_draws and plan.total_draws and supports_replay(sampler):
+                    sampler.seek(sampler.cursor + plan.total_draws)
+                if advance_cycles and supports_replay(sampler):
+                    sampler.seek(sampler.cursor + advance_cycles)
+        if failures:
+            from repro.runtime.pool import SweepExecutionError
+
+            failures.sort(key=lambda failure: failure.index)
+            raise SweepExecutionError(failures)
 
     def _collect_compare_runs(
         self, plan: Any, outcome: Any, used_seed: int | None

@@ -11,9 +11,14 @@ code; every command is driven through the :mod:`repro.api` facade:
   overhead / quality tables;
 * ``sweep`` — run a manager × seed scenario grid through the
   :mod:`repro.runtime` sweep engine (optionally across worker processes,
-  with the persistent compiled-controller cache);
+  with the persistent compiled-controller cache, or over a shared spool
+  directory with ``--spool``);
+* ``worker`` — attach this machine to a shared sweep spool and execute
+  distributed work units (see ``docs/distributed-sweeps.md``);
 * ``experiments`` — run the full experiment suite (all tables and figures);
 * ``diagram`` — print the speed diagram of one controlled cycle.
+
+Every subcommand's ``--help`` epilog states its defaults explicitly.
 """
 
 from __future__ import annotations
@@ -34,11 +39,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("info", help="print the paper's setup and reference numbers")
+    commands.add_parser(
+        "info",
+        help="print the paper's setup and reference numbers",
+        epilog="No options (and so no defaults); prints the §4.1 setup and §4.2 reference tables.",
+    )
 
-    commands.add_parser("managers", help="list the registered Quality Manager keys")
+    commands.add_parser(
+        "managers",
+        help="list the registered Quality Manager keys",
+        epilog="No options (and so no defaults); prints the live registry table.",
+    )
 
-    run = commands.add_parser("run", help="run one manager and print its metrics")
+    run = commands.add_parser(
+        "run",
+        help="run one manager and print its metrics",
+        epilog=(
+            "Defaults: --manager relaxation, --cycles 6, --seed 0, the paper's "
+            "CIF workload (use --small for QCIF) on the 'ipod' virtual machine."
+        ),
+    )
     run.add_argument(
         "--manager",
         default="relaxation",
@@ -51,7 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     compare = commands.add_parser(
-        "compare", help="compare the numeric and symbolic managers on the encoder workload"
+        "compare",
+        help="compare the numeric and symbolic managers on the encoder workload",
+        epilog=(
+            f"Defaults: --managers {_DEFAULT_COMPARE}, --frames 6, --seed 0, the "
+            "paper's CIF workload (use --small for QCIF) on the 'ipod' virtual "
+            "machine; every manager sees identical scenarios."
+        ),
     )
     compare.add_argument("--frames", type=int, default=6, help="number of frames to encode")
     compare.add_argument("--seed", type=int, default=0, help="random seed")
@@ -65,7 +91,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sweep = commands.add_parser(
-        "sweep", help="run a manager x seed scenario grid (optionally in parallel)"
+        "sweep",
+        help="run a manager x seed scenario grid (optionally in parallel)",
+        epilog=(
+            "Defaults: --managers relaxation, --scenarios 8, --cycles 4, --seed 0, "
+            "serial execution (--workers 0), the persistent artifact cache at "
+            "$REPRO_CACHE_DIR else ~/.cache/repro/compiled, and the re-draw "
+            "scenario transport.  --spool fans the grid out over a shared spool "
+            "directory instead of the in-process pool (--workers then spawns that "
+            "many local spool workers; 0 waits for external 'repro worker' "
+            "processes).  Results are bit-identical to serial either way."
+        ),
     )
     sweep.add_argument(
         "--managers",
@@ -111,9 +147,92 @@ def build_parser() -> argparse.ArgumentParser:
             "bit-identical either way"
         ),
     )
+    sweep.add_argument(
+        "--spool",
+        default=None,
+        help=(
+            "shared spool directory: fan the grid out to 'repro worker' "
+            "processes (any host) instead of the in-process pool; --workers "
+            "spawns local spool workers (default: none, wait for external)"
+        ),
+    )
+    sweep.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        help="spool lease expiry in seconds before a unit is requeued (default: 30)",
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help=(
+            "overall wall-clock bound in seconds for a --spool run "
+            "(default: wait forever; set it when no workers may be attached)"
+        ),
+    )
+
+    worker = commands.add_parser(
+        "worker",
+        help="execute distributed sweep units from a shared spool directory",
+        epilog=(
+            "Defaults: --cache-dir $REPRO_CACHE_DIR else ~/.cache/repro/compiled "
+            "(the worker's local artifact cache; missing artifacts sync from "
+            "spool/artifacts), --poll 0.2s, --heartbeat 2.0s, --worker-id "
+            "<hostname>-<pid>, and no --max-idle/--max-units limit (run until "
+            "killed).  Start any number of workers on any host that sees the "
+            "spool; claims are atomic renames, so two workers never hold the "
+            "same unit at once (a unit re-runs only after its lease expires, "
+            "and re-runs produce identical results). "
+            "See docs/distributed-sweeps.md for the operational runbook."
+        ),
+    )
+    worker.add_argument("--spool", required=True, help="the shared spool directory")
+    worker.add_argument(
+        "--cache-dir",
+        default=None,
+        help="local compiled-artifact cache (default: $REPRO_CACHE_DIR or ~/.cache/repro/compiled)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.2, help="pending-scan interval in seconds (default: 0.2)"
+    )
+    worker.add_argument(
+        "--heartbeat",
+        type=float,
+        default=2.0,
+        help="lease heartbeat interval in seconds while executing (default: 2.0)",
+    )
+    worker.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        help="exit after this many idle seconds (default: run until killed)",
+    )
+    worker.add_argument(
+        "--max-units",
+        type=int,
+        default=None,
+        help="exit after executing this many units (default: unlimited)",
+    )
+    worker.add_argument(
+        "--worker-id", default=None, help="lease owner tag (default: <hostname>-<pid>)"
+    )
+    worker.add_argument(
+        "--quiet", action="store_true", help="suppress per-unit progress lines"
+    )
 
     experiments = commands.add_parser(
-        "experiments", help="run the full experiment suite (every table and figure)"
+        "experiments",
+        help="run the full experiment suite (every table and figure)",
+        epilog=(
+            "Defaults: the paper-scale CIF workload (use --fast for QCIF), "
+            "--seed 0, serial comparisons (--workers routes E2/E3 through the "
+            "sweep pool), --vectorize auto, the scenario transport of the "
+            "chosen mode (value on the pool, redraw on a spool), no spool "
+            "(--spool fans comparisons out over a shared spool; --workers "
+            "then spawns local spool workers).  Artefacts are bit-identical "
+            "across all execution modes."
+        ),
     )
     experiments.add_argument("--fast", action="store_true", help="small workload, quick run")
     experiments.add_argument("--seed", type=int, default=0, help="random seed")
@@ -132,11 +251,36 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument(
         "--scenario-transport",
         choices=("value", "redraw"),
-        default="value",
-        help="parallel compare scenario transport (only meaningful with --workers)",
+        default=None,
+        help=(
+            "parallel compare scenario transport (default: value on the "
+            "process pool, redraw on a spool; only meaningful with "
+            "--workers/--spool)"
+        ),
+    )
+    experiments.add_argument(
+        "--spool",
+        default=None,
+        help=(
+            "shared spool directory: run the manager comparisons through "
+            "'repro worker' processes instead of the in-process pool"
+        ),
+    )
+    experiments.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help=(
+            "overall wall-clock bound in seconds for a --spool run "
+            "(default: wait forever; set it when no workers may be attached)"
+        ),
     )
 
-    diagram = commands.add_parser("diagram", help="print the speed diagram of one cycle")
+    diagram = commands.add_parser(
+        "diagram",
+        help="print the speed diagram of one cycle",
+        epilog="Defaults: --seed 0 on the QCIF workload with the relaxation manager.",
+    )
     diagram.add_argument("--seed", type=int, default=0, help="random seed")
     return parser
 
@@ -243,7 +387,10 @@ def _run_sweep(
     workers: int,
     cache_dir: str | None,
     no_cache: bool,
-    scenario_transport: str = "value",
+    scenario_transport: str = "redraw",
+    spool: str | None = None,
+    lease_timeout: float | None = None,
+    timeout: float | None = None,
 ) -> int:
     import time
 
@@ -253,13 +400,24 @@ def _run_sweep(
     if scenarios < 1:
         print("error: --scenarios must be >= 1")
         return 2
+    if workers < 0:
+        print(f"error: --workers must be >= 0, got {workers}")
+        return 2
     specs = [spec.strip() for spec in managers.split(",") if spec.strip()]
     try:
         session = _session(seed, small, cycles)
         # an explicit opt-out also keeps the *pool* from using its default
         # cache location — workers then compile locally
         session.artifacts(False if no_cache else (cache_dir if cache_dir is not None else True))
-        if workers >= 1:
+        if spool is not None:
+            session.remote(
+                spool,
+                lease_timeout=lease_timeout,
+                timeout=timeout,
+                local_workers=workers,
+                scenario_transport=scenario_transport,
+            )
+        elif workers >= 1:
             session.parallel(workers, scenario_transport=scenario_transport)
         grid = grid_specs(
             managers=specs, seeds=spawn_seeds(seed, scenarios), cycles=cycles
@@ -268,7 +426,7 @@ def _run_sweep(
         points = run_session_sweep(
             session,
             grid,
-            parallel=workers >= 1,
+            parallel=True if spool is not None else workers >= 1,
             workers=workers if workers >= 1 else None,
         )
         elapsed = time.perf_counter() - start
@@ -276,7 +434,12 @@ def _run_sweep(
         print(f"error: {error}")
         return 2
     headers, rows = sweep_table(points)
-    mode = f"{workers} worker(s)" if workers >= 1 else "serial"
+    if spool is not None:
+        mode = f"spool {spool} ({workers} local worker(s))"
+    elif workers >= 1:
+        mode = f"{workers} worker(s)"
+    else:
+        mode = "serial"
     print(
         format_table(
             headers,
@@ -294,12 +457,47 @@ def _run_sweep(
     return 0
 
 
+def _run_worker(
+    spool: str,
+    cache_dir: str | None,
+    poll: float,
+    heartbeat: float,
+    max_idle: float | None,
+    max_units: int | None,
+    worker_id: str | None,
+    quiet: bool,
+) -> int:
+    from repro.runtime.remote import worker_main
+
+    try:
+        executed = worker_main(
+            spool,
+            cache_dir=cache_dir,
+            poll_interval=poll,
+            heartbeat=heartbeat,
+            max_idle=max_idle,
+            max_units=max_units,
+            worker_id=worker_id,
+            log=None if quiet else print,
+        )
+    except KeyboardInterrupt:  # a worker is killed, not completed
+        return 130
+    except (ValueError, OSError) as error:
+        print(f"error: {error}")
+        return 2
+    if not quiet:
+        print(f"worker exiting after {executed} unit(s)")
+    return 0
+
+
 def _run_experiments(
     fast: bool,
     seed: int,
     workers: int | None = None,
     vectorize: str = "auto",
-    scenario_transport: str = "value",
+    scenario_transport: str | None = None,
+    spool: str | None = None,
+    spool_timeout: float | None = None,
 ) -> int:
     from repro.experiments import run_all_experiments
 
@@ -310,6 +508,8 @@ def _run_experiments(
             workers=workers,
             vectorize=vectorize,
             scenario_transport=scenario_transport,
+            spool=spool,
+            spool_timeout=spool_timeout,
         )
     except (ValueError, RuntimeError) as error:  # bad --workers / sweep failures
         print(f"error: {error}")
@@ -355,6 +555,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.cache_dir,
             arguments.no_cache,
             arguments.scenario_transport,
+            arguments.spool,
+            arguments.lease_timeout,
+            arguments.timeout,
+        )
+    if arguments.command == "worker":
+        return _run_worker(
+            arguments.spool,
+            arguments.cache_dir,
+            arguments.poll,
+            arguments.heartbeat,
+            arguments.max_idle,
+            arguments.max_units,
+            arguments.worker_id,
+            arguments.quiet,
         )
     if arguments.command == "experiments":
         return _run_experiments(
@@ -363,6 +577,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.workers,
             arguments.vectorize,
             arguments.scenario_transport,
+            arguments.spool,
+            arguments.timeout,
         )
     if arguments.command == "diagram":
         return _run_diagram(arguments.seed)

@@ -59,7 +59,9 @@ def run_all_experiments(
     workload: EncoderWorkload | None = None,
     workers: int | None = None,
     vectorize: str = "auto",
-    scenario_transport: str = "value",
+    scenario_transport: str | None = None,
+    spool: str | None = None,
+    spool_timeout: float | None = None,
 ) -> ExperimentSuiteResult:
     """Run experiments E1–E5 and return their results.
 
@@ -67,6 +69,11 @@ def run_all_experiments(
     shapes (orderings, matches) are preserved, only the scale changes.
     ``workers`` routes the manager comparisons of E2/E3 through the
     :mod:`repro.runtime` sweep pool (results are bit-identical to serial).
+    ``spool`` fans those comparisons out over a shared spool directory
+    instead (:meth:`repro.api.Session.remote`); ``workers`` then counts the
+    local ``repro worker`` subprocesses to spawn (0/None waits for external
+    workers attached to the spool — set ``spool_timeout`` to bound the wait
+    when none may be attached).
     ``vectorize`` selects the cycle engine for the session-driven
     experiments — ``"auto"`` (default) batch-executes the table-driven
     managers through :mod:`repro.core.engine`, ``"never"`` forces the scalar
@@ -74,7 +81,9 @@ def run_all_experiments(
     selects how a parallel comparison ships its shared scenarios to the
     workers (``"value"`` pre-draws and ships the
     :class:`~repro.core.timing.ScenarioBatch` tensor, ``"redraw"`` ships no
-    scenario data and workers re-draw it); only meaningful with ``workers``.
+    scenario data and workers re-draw it); ``None`` keeps each mode's
+    default — ``"value"`` on the process pool, ``"redraw"`` on a spool.
+    Only meaningful with ``workers``/``spool``.
     """
     if workload is not None:
         wl = workload
@@ -90,7 +99,14 @@ def run_all_experiments(
     # E2 and E3 share one facade session: the symbolic tables are compiled
     # once and reused from the session's cache across both experiments.
     session = Session().system(wl).seed(seed).vectorize(vectorize)
-    if workers is not None:
+    if spool is not None:
+        session.remote(
+            spool,
+            timeout=spool_timeout,
+            local_workers=workers or 0,
+            scenario_transport=scenario_transport,
+        )
+    elif workers is not None:
         session.parallel(workers, scenario_transport=scenario_transport)
     overhead = run_overhead_experiment(wl, n_frames=n_frames, seed=seed, session=session)
     fig7 = run_fig7_experiment(wl, n_frames=n_frames, seed=seed, session=session)
@@ -121,8 +137,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--scenario-transport",
         choices=("value", "redraw"),
-        default="value",
-        help="parallel compare scenario transport (only meaningful with --workers)",
+        default=None,
+        help=(
+            "parallel compare scenario transport (default: value on the "
+            "process pool, redraw on a spool; only meaningful with "
+            "--workers/--spool)"
+        ),
+    )
+    parser.add_argument(
+        "--spool",
+        default=None,
+        help="shared spool directory for distributed comparisons (see docs/distributed-sweeps.md)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="overall bound in seconds for a --spool run (default: wait forever)",
     )
     arguments = parser.parse_args(argv)
     result = run_all_experiments(
@@ -131,6 +162,8 @@ def main(argv: list[str] | None = None) -> int:
         workers=arguments.workers,
         vectorize=arguments.vectorize,
         scenario_transport=arguments.scenario_transport,
+        spool=arguments.spool,
+        spool_timeout=arguments.timeout,
     )
     print(result.render())
     return 0

@@ -19,6 +19,12 @@ boundaries:
   workers; workers hydrate their managers from the artifact cache instead of
   recompiling, and parallel results are bit-identical to the serial baseline
   for fixed seeds.
+* :mod:`repro.runtime.remote` — the multi-*machine* sibling: a broker-less
+  :class:`~repro.runtime.remote.RemoteSweepExecutor` fans units out over a
+  shared spool directory (local FS or NFS), ``repro worker`` processes on any
+  host claim them via rename-based leases with heartbeat requeue, and the
+  parent streams results as they land.  Same plans, same records, same
+  bit-identical results.
 
 The serial execution path of :class:`repro.api.Session` remains the default
 and the behavioural reference; this layer only changes *where* and *how
@@ -45,6 +51,7 @@ from .plan import (
     unique_label,
 )
 from .pool import SweepExecutionError, SweepExecutor, SweepOutcome, UnitFailure
+from .remote import RemoteSweepExecutor, SpoolLayout, SpoolWorker, worker_main
 
 __all__ = [
     # artifacts
@@ -69,4 +76,9 @@ __all__ = [
     "SweepExecutionError",
     "SweepOutcome",
     "UnitFailure",
+    # remote
+    "RemoteSweepExecutor",
+    "SpoolLayout",
+    "SpoolWorker",
+    "worker_main",
 ]

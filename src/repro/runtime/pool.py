@@ -43,7 +43,14 @@ from repro.core.timing import supports_replay
 from .artifacts import CompiledArtifactCache
 from .plan import ExecutionPayload, SweepPlan, SweepUnit
 
-__all__ = ["ProgressCallback", "SweepExecutionError", "SweepExecutor", "SweepOutcome", "UnitFailure"]
+__all__ = [
+    "ProgressCallback",
+    "SweepExecutionError",
+    "SweepExecutor",
+    "SweepOutcome",
+    "UnitFailure",
+    "collect_outcome",
+]
 
 #: ``progress(completed_units, total_units, unit)`` — called from the parent
 #: process (never from a worker) each time a unit finishes
@@ -240,6 +247,39 @@ def _run_chunk(units: tuple[SweepUnit, ...]) -> list[tuple]:
 # --------------------------------------------------------------------------- #
 
 
+def collect_outcome(plan: SweepPlan, records: Sequence[tuple], *, on_error: str) -> SweepOutcome:
+    """Fan per-unit records into one :class:`SweepOutcome`.
+
+    The single fan-in shared by every executor (the process pool here, the
+    spool transport in :mod:`repro.runtime.remote`): records are the
+    ``(index, True, manager_name, outcomes)`` / ``(index, False, error,
+    traceback)`` tuples workers produce, in any order.  ``on_error="raise"``
+    raises a collective :class:`SweepExecutionError` when any unit failed.
+    """
+    outcomes: dict[int, tuple[CycleOutcome, ...]] = {}
+    names: dict[int, str] = {}
+    failures: list[UnitFailure] = []
+    for index, success, head, tail in records:
+        if success:
+            names[index], outcomes[index] = head, tail
+        else:
+            failures.append(
+                UnitFailure(
+                    index=index,
+                    label=plan.units[index].label,
+                    error=head,
+                    traceback=tail,
+                )
+            )
+    failures.sort(key=lambda failure: failure.index)
+    result = SweepOutcome(
+        plan=plan, outcomes=outcomes, manager_names=names, failures=tuple(failures)
+    )
+    if failures and on_error == "raise":
+        raise SweepExecutionError(failures)
+    return result
+
+
 class SweepExecutor:
     """Executes :class:`SweepPlan` objects, serially or across processes.
 
@@ -300,28 +340,7 @@ class SweepExecutor:
             records = self._run_inline(plan, payload_bytes, progress)
         else:
             records = self._run_pool(plan, progress)
-        outcomes: dict[int, tuple[CycleOutcome, ...]] = {}
-        names: dict[int, str] = {}
-        failures: list[UnitFailure] = []
-        for index, success, head, tail in records:
-            if success:
-                names[index], outcomes[index] = head, tail
-            else:
-                failures.append(
-                    UnitFailure(
-                        index=index,
-                        label=plan.units[index].label,
-                        error=head,
-                        traceback=tail,
-                    )
-                )
-        failures.sort(key=lambda failure: failure.index)
-        result = SweepOutcome(
-            plan=plan, outcomes=outcomes, manager_names=names, failures=tuple(failures)
-        )
-        if failures and on_error == "raise":
-            raise SweepExecutionError(failures)
-        return result
+        return collect_outcome(plan, records, on_error=on_error)
 
     @staticmethod
     def _pickle_payload(payload: ExecutionPayload) -> bytes:

@@ -1,0 +1,86 @@
+"""Documentation smoke tests: every documented entry point must actually run.
+
+Executes each ``examples/*.py`` as a subprocess (with
+``REPRO_EXAMPLE_CYCLES=1`` so the scale-bearing examples stay minimal) and
+the README quickstart snippets, so the code the documentation shows cannot
+rot.  These are the tests the CI ``docs-and-examples`` job runs.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent.parent
+_EXAMPLES = sorted((_ROOT / "examples").glob("*.py"))
+
+
+def _example_env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_CYCLES"] = "1"
+    env["PYTHONPATH"] = str(_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def test_every_example_is_covered():
+    """A new example file automatically joins the smoke run below."""
+    assert _EXAMPLES, "examples/ directory is empty?"
+    assert {path.name for path in _EXAMPLES} >= {
+        "quickstart.py",
+        "mpeg_encoder_comparison.py",
+        "parallel_sweep.py",
+        "distributed_sweep.py",
+        "power_management_dvfs.py",
+        "multitask_control.py",
+        "speed_diagram_tour.py",
+    }
+
+
+@pytest.mark.parametrize("example", _EXAMPLES, ids=lambda path: path.name)
+def test_example_runs_clean(example: Path):
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        env=_example_env(),
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=_ROOT,
+    )
+    assert completed.returncode == 0, (
+        f"{example.name} exited {completed.returncode}\n"
+        f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{example.name} printed nothing"
+
+
+# --------------------------------------------------------------------------- #
+# README quickstart snippets
+# --------------------------------------------------------------------------- #
+
+
+def _section_code_blocks(markdown: str, heading: str) -> list[str]:
+    """The ``python`` fenced blocks under one ``##`` heading."""
+    pattern = rf"^## {re.escape(heading)}$(.*?)(?=^## |\Z)"
+    match = re.search(pattern, markdown, flags=re.MULTILINE | re.DOTALL)
+    assert match, f"README has no '## {heading}' section"
+    return re.findall(r"```python\n(.*?)```", match.group(1), flags=re.DOTALL)
+
+
+def test_readme_quickstart_snippets_execute():
+    """Both Quickstart code blocks run verbatim (shared namespace, like a
+    reader pasting them into one interpreter session)."""
+    markdown = (_ROOT / "README.md").read_text(encoding="utf-8")
+    blocks = _section_code_blocks(markdown, "Quickstart")
+    assert len(blocks) >= 2, "Quickstart should show at least two code blocks"
+    namespace: dict = {}
+    for block in blocks:
+        exec(compile(block, "<README quickstart>", "exec"), namespace)  # noqa: S102
+    # the first block printed metrics from a real run
+    assert "result" in namespace and namespace["result"].n_cycles >= 1
