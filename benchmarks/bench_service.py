@@ -1,0 +1,205 @@
+"""Sweep-service gate: warm resident repeats vs the cold spool path.
+
+Asserts the :mod:`repro.service` claims that matter:
+
+* a repeat of the BENCH_remote small sweep against an **already-warm
+  resident fleet** is **>= 3x faster** than today's cold ``Session.remote``
+  path (which pays worker spawn + artifact hydration on every run) — the
+  reason the service layer exists;
+* a single asyncio :class:`~repro.service.ServiceClient` sustains **>= 100
+  concurrent multiplexed sweeps** whose results are bit-identical to the
+  serial baseline for fixed seeds (the correctness gate — concurrency may
+  never change results);
+* the resident workers actually served the repeats warm (the fleet's
+  runtime pool reports warm hits via completed repeats, not re-hydrations).
+
+Writes ``BENCH_service.json``; set ``$BENCH_SERVICE_JSON`` to redirect.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import Session
+from repro.runtime import spawn_seeds
+from repro.service import ServiceClient
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+_N_SCENARIOS = 12
+_CYCLES_PER_SCENARIO = 6
+_LOCAL_WORKERS = 2
+_WARM_ROUNDS = 3
+_N_CONCURRENT = 100
+_SPEEDUP_GATE = 3.0
+
+
+def _report_path() -> str:
+    return os.environ.get("BENCH_SERVICE_JSON", "BENCH_service.json")
+
+
+def _session(cache_dir) -> Session:
+    return Session().system("small").machine("ipod").seed(0).artifacts(cache_dir)
+
+
+def _grid() -> list[dict]:
+    return [
+        {"label": f"s{position}", "manager": manager, "seed": seed,
+         "cycles": _CYCLES_PER_SCENARIO}
+        for position, (manager, seed) in enumerate(
+            (manager, seed)
+            for manager in ("relaxation", "region")
+            for seed in spawn_seeds(0, _N_SCENARIOS // 2)
+        )
+    ]
+
+
+def _assert_identical(serial, other) -> None:
+    assert set(serial.labels) == set(other.labels)
+    for label in serial.labels:
+        for left, right in zip(serial[label].outcomes, other[label].outcomes):
+            np.testing.assert_array_equal(left.qualities, right.qualities)
+            np.testing.assert_array_equal(left.durations, right.durations)
+            np.testing.assert_array_equal(
+                left.completion_times, right.completion_times
+            )
+
+
+def _spawn_resident_worker(spool, cache_dir) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--spool", str(spool), "--cache-dir", str(cache_dir),
+            "--poll", "0.01", "--heartbeat", "0.5",
+            "--resident", "--max-idle", "600", "--quiet",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def bench_service_warm_vs_cold_and_async_fan_in(tmp_path):
+    grid = _grid()
+    cache_dir = tmp_path / "cache"
+
+    started = time.perf_counter()
+    serial = _session(cache_dir).run_many(grid)
+    serial_s = time.perf_counter() - started
+
+    # --- cold: today's Session.remote path, full startup every run -------- #
+    started = time.perf_counter()
+    cold = (
+        _session(cache_dir)
+        .remote(tmp_path / "cold-spool", local_workers=_LOCAL_WORKERS,
+                poll_interval=0.02, timeout=600.0)
+        .run_many(grid)
+    )
+    cold_s = time.perf_counter() - started
+    _assert_identical(serial, cold)
+
+    # --- warm: resident fleet attached once, repeats served hot ----------- #
+    spool = tmp_path / "spool"
+    workers = [
+        _spawn_resident_worker(spool, tmp_path / f"worker-{index}-cache")
+        for index in range(_LOCAL_WORKERS)
+    ]
+    warm_times = []
+    concurrency_identical = False
+    try:
+        def service_session() -> Session:
+            return _session(cache_dir).service(
+                spool, poll_interval=0.01, timeout=600.0
+            )
+
+        warmup = service_session().run_many(grid)  # hydrates the fleet
+        _assert_identical(serial, warmup)
+        for _ in range(_WARM_ROUNDS):
+            started = time.perf_counter()
+            warm = service_session().run_many(grid)
+            warm_times.append(time.perf_counter() - started)
+            _assert_identical(serial, warm)
+        warm_s = min(warm_times)
+
+        # --- >= 100 concurrent sweeps through one asyncio client ---------- #
+        specs = [
+            {"label": f"c{index}", "manager": manager, "seed": index, "cycles": 2}
+            for index, manager in zip(
+                range(_N_CONCURRENT),
+                (m for _ in range(_N_CONCURRENT) for m in ("relaxation", "region")),
+            )
+        ]
+        serial_each = [_session(cache_dir).run_many([spec]) for spec in specs]
+
+        async def fan_out():
+            client = ServiceClient(spool, poll_interval=0.01, timeout=600.0)
+            async with client:
+                handles = [
+                    await client.submit(_session(cache_dir), [spec])
+                    for spec in specs
+                ]
+                return await client.gather(*handles)
+
+        started = time.perf_counter()
+        results = asyncio.run(fan_out())
+        concurrent_s = time.perf_counter() - started
+        for expected, got in zip(serial_each, results):
+            _assert_identical(expected, got)
+        concurrency_identical = True
+    finally:
+        for worker in workers:
+            worker.terminate()
+        for worker in workers:
+            try:
+                worker.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - cleanup
+                worker.kill()
+                worker.wait(timeout=30.0)
+
+    speedup = cold_s / warm_s
+    report = {
+        "benchmark": "service",
+        "n_scenarios": _N_SCENARIOS,
+        "cycles_per_scenario": _CYCLES_PER_SCENARIO,
+        "local_workers": _LOCAL_WORKERS,
+        "serial_seconds": serial_s,
+        "cold_remote_seconds": cold_s,
+        "warm_service_seconds": warm_s,
+        "warm_rounds_seconds": warm_times,
+        "warm_vs_cold_speedup": speedup,
+        "concurrent_sweeps": _N_CONCURRENT,
+        "concurrent_seconds": concurrent_s,
+        "bit_identical": bool(concurrency_identical),
+        "env": {
+            "cpu_count": os.cpu_count(),
+            "python": ".".join(map(str, sys.version_info[:3])),
+        },
+    }
+    with open(_report_path(), "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(
+        f"\nservice: serial {serial_s:.2f}s, cold remote {cold_s:.2f}s, "
+        f"warm service {warm_s:.2f}s ({speedup:.1f}x), "
+        f"{_N_CONCURRENT} concurrent sweeps in {concurrent_s:.2f}s "
+        f"(report: {_report_path()})"
+    )
+    # the gates: residency must beat cold startup, concurrency must not
+    # change results
+    assert speedup >= _SPEEDUP_GATE, (
+        f"warm service repeat should be >= {_SPEEDUP_GATE}x faster than the "
+        f"cold Session.remote path, got {speedup:.2f}x "
+        f"(cold {cold_s:.2f}s, warm {warm_s:.2f}s)"
+    )
+    assert concurrency_identical

@@ -24,6 +24,9 @@ The library provides:
   management, multi-task control, linear region approximation).
 * :mod:`repro.runtime` — the scaling layer: a persistent compiled-controller
   artifact cache and a process-based parallel sweep engine.
+* :mod:`repro.service` — the always-on sweep service: priority/tenant
+  queues over the spool, resident warm workers and an asyncio fan-in
+  client for hundreds of concurrent sweeps.
 
 Quick start::
 
@@ -60,6 +63,7 @@ _SUBMODULES = (
     "media",
     "platform",
     "runtime",
+    "service",
 )
 
 __all__ = [*_SUBMODULES, "__version__"]

@@ -200,6 +200,7 @@ class Session:
         self._artifacts_disabled: bool = False  # explicit .artifacts(False)
         self._parallel: dict[str, Any] | None = None
         self._remote: dict[str, Any] | None = None
+        self._service: dict[str, Any] | None = None
         self._vectorize: str = "auto"
 
     # ------------------------------------------------------------------ #
@@ -527,6 +528,86 @@ class Session:
         }
         return self
 
+    def service(
+        self,
+        spool: str | os.PathLike | None = None,
+        *,
+        queue: str = "default",
+        tenant: str = "default",
+        priority: int = 0,
+        quota: int | None = None,
+        lease_timeout: float | None = None,
+        poll_interval: float | None = None,
+        max_requeues: int | None = None,
+        timeout: float | None = None,
+        local_workers: int = 0,
+        scenario_transport: str | None = None,
+        pump: bool = True,
+        enabled: bool = True,
+    ) -> "Session":
+        """Fan :meth:`run_many` and :meth:`compare` out through a sweep service.
+
+        The queue-backed sibling of :meth:`remote`: sweeps are submitted into
+        a named priority queue on the service spool (see
+        :mod:`repro.service`), where integer ``priority`` (higher first),
+        the ``tenant`` tag and a per-tenant in-flight ``quota`` govern
+        dispatch — round-robin across tenants within a priority band, so no
+        tenant starves another.  Execution, lease-requeue and results are
+        the spool transport's, bit-identical to serial for fixed seeds;
+        expired leases re-enter through the queue, under the same admission
+        control as fresh work.
+
+        Attach warm workers with ``repro service start`` (or ``repro worker
+        --resident``); ``local_workers=N`` spawns N *resident* workers for
+        the duration of each run as the zero-setup form.  ``pump=False``
+        leaves dispatch entirely to an external ``repro service start``
+        daemon (strict quotas need a single dispatcher; see
+        ``docs/service.md``).  ``scenario_transport`` defaults to
+        ``"redraw"``, like :meth:`remote`.  A configured service takes
+        precedence over both :meth:`remote` and :meth:`parallel`; disable
+        with ``.service(enabled=False)``.
+        """
+        if not enabled:
+            self._service = None
+            return self
+        if spool is None:
+            raise SessionError("service(...) needs a spool directory")
+        if lease_timeout is not None and lease_timeout <= 0.0:
+            raise SessionError(f"lease_timeout must be > 0, got {lease_timeout}")
+        if poll_interval is not None and poll_interval <= 0.0:
+            raise SessionError(f"poll_interval must be > 0, got {poll_interval}")
+        if max_requeues is not None and max_requeues < 0:
+            raise SessionError(f"max_requeues must be >= 0, got {max_requeues}")
+        if timeout is not None and timeout <= 0.0:
+            raise SessionError(f"timeout must be > 0, got {timeout}")
+        if local_workers < 0:
+            raise SessionError(f"local_workers must be >= 0, got {local_workers}")
+        if quota is not None and int(quota) < 1:
+            raise SessionError(f"quota must be >= 1, got {quota}")
+        self._check_transport(scenario_transport)
+        from repro.service.queue import _check_token
+
+        try:
+            _check_token(queue, "queue name")
+            _check_token(tenant, "tenant")
+        except ValueError as error:
+            raise SessionError(str(error)) from None
+        self._service = {
+            "spool": os.fspath(spool),
+            "queue": queue,
+            "tenant": tenant,
+            "priority": int(priority),
+            "quota": int(quota) if quota is not None else None,
+            "lease_timeout": lease_timeout,
+            "poll_interval": poll_interval,
+            "max_requeues": max_requeues,
+            "timeout": timeout,
+            "local_workers": int(local_workers),
+            "scenario_transport": scenario_transport,
+            "pump": bool(pump),
+        }
+        return self
+
     # ------------------------------------------------------------------ #
     # resolution (lazy; everything heavy is cached)
     # ------------------------------------------------------------------ #
@@ -801,9 +882,14 @@ class Session:
         self._check_stream(stream, pool_config)
         use_pool = pool_config is not None and n_cycles > 0
         if use_pool:
-            # remote units default to the re-draw transport: ~200 bytes per
-            # unit instead of a scenario tensor crossing the spool
-            default = "redraw" if pool_config.get("remote") else "value"
+            # spool-transported units (remote or service) default to the
+            # re-draw transport: ~200 bytes per unit instead of a scenario
+            # tensor crossing the spool
+            default = (
+                "redraw"
+                if pool_config.get("remote") or pool_config.get("service")
+                else "value"
+            )
             transport = self._effective_transport(
                 scenario_transport, pool_config, default=default
             )
@@ -895,42 +981,7 @@ class Session:
         from repro.runtime.plan import unique_label
 
         self._check_transport(scenario_transport)
-        coerced: list[ScenarioSpec] = []
-        for entry in scenarios:
-            if isinstance(entry, ScenarioSpec):
-                coerced.append(entry)
-            elif isinstance(entry, dict):
-                unknown = set(entry) - {"label", "manager", "cycles", "seed"}
-                if unknown:
-                    raise SessionError(f"unknown scenario field(s) {sorted(unknown)}")
-                coerced.append(ScenarioSpec(**entry))
-            elif isinstance(entry, bool):
-                raise SessionError(f"cannot interpret {entry!r} as a scenario")
-            elif isinstance(entry, int):
-                coerced.append(ScenarioSpec(seed=entry))
-            elif isinstance(entry, (str, ManagerSpec)):
-                coerced.append(ScenarioSpec(manager=ManagerSpec.coerce(entry)))
-            else:
-                raise SessionError(f"cannot interpret {entry!r} as a scenario")
-        # validate every manager spec before running anything
-        for spec in coerced:
-            if spec.manager is not None:
-                validate_spec(ManagerSpec.coerce(spec.manager))
-            if spec.cycles is not None and int(spec.cycles) < 1:
-                raise SessionError(f"scenario cycles must be >= 1, got {spec.cycles}")
-
-        # resolve every unit up front: (label, manager spec, cycles, seed)
-        entries: list[tuple[str, ManagerSpec, int, int]] = []
-        for index, spec in enumerate(coerced):
-            manager_spec = (
-                validate_spec(ManagerSpec.coerce(spec.manager))
-                if spec.manager is not None
-                else self._spec
-            )
-            n_cycles = self._default_cycles if spec.cycles is None else int(spec.cycles)
-            used_seed = self._seed if spec.seed is None else int(spec.seed)
-            entries.append((spec.resolved_label(index), manager_spec, n_cycles, used_seed))
-
+        entries = self._coerce_run_many_entries(scenarios)
         mode = self._effective_vectorize(vectorize)
         pool_config = self._pool_config(parallel, workers)
         self._check_stream(stream, pool_config)
@@ -972,6 +1023,91 @@ class Session:
             return iter(runs.items())
         return BatchResult(runs=runs)
 
+    def _coerce_run_many_entries(
+        self, scenarios: Iterable[ScenarioSpec | dict | str | int | ManagerSpec]
+    ) -> list[tuple[str, ManagerSpec, int, int]]:
+        """Validate and resolve run_many inputs into plan entries.
+
+        Returns ``(label, manager spec, cycles, seed)`` per scenario, every
+        field resolved against the session's configuration — the exact
+        entry shape :func:`~repro.runtime.plan.plan_run_many` consumes.
+        """
+        coerced: list[ScenarioSpec] = []
+        for entry in scenarios:
+            if isinstance(entry, ScenarioSpec):
+                coerced.append(entry)
+            elif isinstance(entry, dict):
+                unknown = set(entry) - {"label", "manager", "cycles", "seed"}
+                if unknown:
+                    raise SessionError(f"unknown scenario field(s) {sorted(unknown)}")
+                coerced.append(ScenarioSpec(**entry))
+            elif isinstance(entry, bool):
+                raise SessionError(f"cannot interpret {entry!r} as a scenario")
+            elif isinstance(entry, int):
+                coerced.append(ScenarioSpec(seed=entry))
+            elif isinstance(entry, (str, ManagerSpec)):
+                coerced.append(ScenarioSpec(manager=ManagerSpec.coerce(entry)))
+            else:
+                raise SessionError(f"cannot interpret {entry!r} as a scenario")
+        # validate every manager spec before running anything
+        for spec in coerced:
+            if spec.manager is not None:
+                validate_spec(ManagerSpec.coerce(spec.manager))
+            if spec.cycles is not None and int(spec.cycles) < 1:
+                raise SessionError(f"scenario cycles must be >= 1, got {spec.cycles}")
+
+        # resolve every unit up front: (label, manager spec, cycles, seed)
+        entries: list[tuple[str, ManagerSpec, int, int]] = []
+        for index, spec in enumerate(coerced):
+            manager_spec = (
+                validate_spec(ManagerSpec.coerce(spec.manager))
+                if spec.manager is not None
+                else self._spec
+            )
+            n_cycles = self._default_cycles if spec.cycles is None else int(spec.cycles)
+            used_seed = self._seed if spec.seed is None else int(spec.seed)
+            entries.append((spec.resolved_label(index), manager_spec, n_cycles, used_seed))
+        return entries
+
+    def sweep_plan(
+        self,
+        scenarios: Iterable[ScenarioSpec | dict | str | int | ManagerSpec],
+        *,
+        scenario_transport: str | None = None,
+    ) -> Any:
+        """Build (but do not run) the :class:`~repro.runtime.plan.SweepPlan`
+        a :meth:`run_many` call would execute.
+
+        This is the submission surface of the async service client
+        (:class:`~repro.service.ServiceClient`), which spools plans itself
+        and fans many of them in concurrently.  The artifact cache is warmed
+        exactly like a parallel run, so executors submitting this plan find
+        the compiled tables ready to push.
+
+        ``scenario_transport`` defaults to ``"redraw"``: units carry a draw
+        recipe, no scenario tensors, and building the plan leaves the
+        session's scenario sampler untouched.  ``"value"`` pre-draws every
+        unit's batch here — *advancing* the session sampler exactly as the
+        serial draw order would — and ships the tensors in the units.
+        """
+        from repro.runtime.plan import plan_run_many
+
+        self._check_transport(scenario_transport)
+        entries = self._coerce_run_many_entries(scenarios)
+        cache = self._parallel_artifact_cache()
+        self._prepare_parallel_cache(cache, [spec for _, spec, _, _ in entries])
+        payload = self._execution_payload(cache)
+        sampler = payload.system.timing.scenario_sampler
+        track = supports_replay(sampler)
+        batches = None
+        if scenario_transport == "value":
+            exec_system = self._execution_system()
+            batches = [
+                exec_system.draw_scenarios(n_cycles, np.random.default_rng(seed))
+                for _, _, n_cycles, seed in entries
+            ]
+        return plan_run_many(payload, entries, track_sampler=track, scenarios=batches)
+
     # ------------------------------------------------------------------ #
     # the parallel sweep engine (repro.runtime)
     # ------------------------------------------------------------------ #
@@ -982,13 +1118,25 @@ class Session:
 
         Explicit ``parallel=False`` always wins; ``parallel=True`` or a
         ``workers`` count always selects the pool; otherwise the builder's
-        :meth:`parallel` configuration decides.  A configured :meth:`remote`
-        spool takes precedence over the in-process pool — the returned config
-        then carries a ``"remote"`` entry and ``workers`` (if given) overrides
-        its ``local_workers`` count.
+        :meth:`parallel` configuration decides.  A configured :meth:`service`
+        wins over :meth:`remote`, which wins over the in-process pool — the
+        returned config then carries a ``"service"`` / ``"remote"`` entry
+        and ``workers`` (if given) overrides its ``local_workers`` count.
         """
         if parallel is False:
             return None
+        if self._service is not None:
+            config = {
+                "workers": int(workers) if workers is not None else None,
+                "chunk_size": None,
+                "mp_context": None,
+                "scenario_transport": self._service.get("scenario_transport"),
+                "service": self._service,
+            }
+            # 0 is meaningful on a spool: rely on external workers
+            if config["workers"] is not None and config["workers"] < 0:
+                raise SessionError(f"workers must be >= 0 on a spool, got {workers}")
+            return config
         if self._remote is not None:
             config = {
                 "workers": int(workers) if workers is not None else None,
@@ -1022,9 +1170,15 @@ class Session:
 
     def _check_stream(self, stream: bool, pool_config: dict[str, Any] | None) -> None:
         """Streaming fan-in only exists on the spool transport."""
-        if not stream or (pool_config is not None and pool_config.get("remote") is not None):
+        if not stream or (
+            pool_config is not None
+            and (
+                pool_config.get("remote") is not None
+                or pool_config.get("service") is not None
+            )
+        ):
             return
-        if self._remote is not None:
+        if self._remote is not None or self._service is not None:
             # a spool IS configured; the explicit parallel=False disabled it
             raise SessionError(
                 "stream=True conflicts with parallel=False — the configured "
@@ -1032,7 +1186,7 @@ class Session:
             )
         raise SessionError(
             "stream=True needs the spool transport — configure "
-            "Session.remote(spool=...) first"
+            "Session.remote(spool=...) or Session.service(spool=...) first"
         )
 
     @staticmethod
@@ -1153,6 +1307,47 @@ class Session:
         )
 
     def _executor_for(self, config: dict[str, Any]):
+        service = config.get("service")
+        if service is not None:
+            from repro.runtime.remote import (
+                DEFAULT_LEASE_TIMEOUT,
+                DEFAULT_MAX_REQUEUES,
+                DEFAULT_POLL_INTERVAL,
+            )
+            from repro.service.queue import QueuedSweepExecutor
+
+            workers = config.get("workers")
+            cache = self._parallel_artifact_cache()
+            return QueuedSweepExecutor(
+                service["spool"],
+                queue=service["queue"],
+                tenant=service["tenant"],
+                priority=service["priority"],
+                quota=service["quota"],
+                pump=service["pump"],
+                lease_timeout=(
+                    service["lease_timeout"]
+                    if service["lease_timeout"] is not None
+                    else DEFAULT_LEASE_TIMEOUT
+                ),
+                poll_interval=(
+                    service["poll_interval"]
+                    if service["poll_interval"] is not None
+                    else DEFAULT_POLL_INTERVAL
+                ),
+                max_requeues=(
+                    service["max_requeues"]
+                    if service["max_requeues"] is not None
+                    else DEFAULT_MAX_REQUEUES
+                ),
+                timeout=service["timeout"],
+                local_workers=(
+                    workers if workers is not None else service["local_workers"]
+                ),
+                source_cache=cache,
+                worker_cache_dir=str(cache.root) if cache is not None else None,
+                sync_artifacts=not self._artifacts_disabled,
+            )
         remote = config.get("remote")
         if remote is not None:
             from repro.runtime.remote import (

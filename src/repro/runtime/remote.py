@@ -45,10 +45,12 @@ tears down the sweep.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import os
 import pickle
 import random
 import shutil
+import signal
 import socket
 import subprocess
 import sys
@@ -267,10 +269,61 @@ class SpoolWorker:
         self._plans: dict[str, dict] = {}
         self._runtimes: dict[str, _WorkerRuntime] = {}
         self.executed = 0
+        self._stop_requested = False
 
     def _say(self, message: str) -> None:
         if self._log is not None:
             self._log(message)
+
+    # ------------------------------------------------------------------ #
+    # graceful shutdown
+    # ------------------------------------------------------------------ #
+    @property
+    def stop_requested(self) -> bool:
+        """True once :meth:`request_stop` (or SIGTERM) has been seen."""
+        return self._stop_requested
+
+    def request_stop(self) -> None:
+        """Ask the run loop to exit at the next safe point.
+
+        Safe to call from a signal handler or another thread: the loop
+        checks the flag before claiming, and a claim taken in the race
+        window is *released* (renamed back to pending) rather than executed,
+        so a drained fleet never strands a unit behind a lease timeout.
+        """
+        self._stop_requested = True
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM to :meth:`request_stop` (graceful drain).
+
+        Only SIGTERM: Ctrl-C keeps its ``KeyboardInterrupt`` semantics (the
+        CLI maps it to exit code 130).  A no-op off the main thread, where
+        Python forbids installing handlers — threaded test workers call
+        :meth:`request_stop` directly instead.
+        """
+        try:
+            signal.signal(signal.SIGTERM, lambda signum, frame: self.request_stop())
+        except ValueError:  # not the main thread
+            pass
+
+    def release_claim(self, claim: Path) -> bool:
+        """Rename a claimed unit back into ``pending/`` (same attempt).
+
+        The graceful-shutdown counterpart of :meth:`claim_one`: a released
+        unit is claimable immediately instead of costing the fleet one full
+        lease timeout.  Returns False when the claim vanished (consumed or
+        requeued under us) — never an error.
+        """
+        name = claim.name
+        cut = name.rfind(_UNIT_SUFFIX)
+        if cut < 0:
+            return False
+        pending_name = name[: cut + len(_UNIT_SUFFIX)]
+        try:
+            os.rename(claim, self.spool.pending / pending_name)
+        except OSError:
+            return False
+        return True
 
     # ------------------------------------------------------------------ #
     # claim / plan hydration
@@ -482,10 +535,18 @@ class SpoolWorker:
         """
         idle_since = time.monotonic()
         while True:
+            if self._stop_requested:
+                self._say(f"[{self.worker_id}] stop requested — draining out")
+                return self.executed
             if max_units is not None and self.executed >= max_units:
                 return self.executed
             claim = self.claim_one()
             if claim is not None:
+                if self._stop_requested:
+                    # stop arrived in the claim race window: hand the unit
+                    # back instead of executing into a shutdown
+                    self.release_claim(claim)
+                    return self.executed
                 try:
                     self._execute_claim(claim)
                 except Exception as error:  # noqa: BLE001 - daemon must outlive any unit
@@ -494,10 +555,14 @@ class SpoolWorker:
                     self._say(f"[{self.worker_id}] claim {claim.name} errored: {error!r}")
                 idle_since = time.monotonic()
                 continue
-            self._evict_stale_plans()
+            self._on_idle_scan()
             if max_idle is not None and time.monotonic() - idle_since >= max_idle:
                 return self.executed
             time.sleep(self._poll)
+
+    def _on_idle_scan(self) -> None:
+        """Housekeeping hook between empty pending scans (overridable)."""
+        self._evict_stale_plans()
 
     def _evict_stale_plans(self) -> None:
         """Drop cached runtimes of plans the parent has withdrawn.
@@ -523,8 +588,14 @@ def worker_main(
     max_units: int | None = None,
     worker_id: str | None = None,
     log: Callable[[str], None] | None = print,
+    install_signals: bool = False,
 ) -> int:
-    """The ``repro worker`` entry point; returns the number of executed units."""
+    """The ``repro worker`` entry point; returns the number of executed units.
+
+    ``install_signals=True`` (what the CLI passes) routes SIGTERM to a
+    graceful drain: the worker finishes or releases its current claim
+    instead of dying mid-unit and costing the fleet a lease timeout.
+    """
     worker = SpoolWorker(
         spool,
         cache_dir=cache_dir,
@@ -533,6 +604,8 @@ def worker_main(
         worker_id=worker_id,
         log=log,
     )
+    if install_signals:
+        worker.install_signal_handlers()
     if log is not None:
         log(
             f"[{worker.worker_id}] watching spool {worker.spool.root} "
@@ -639,17 +712,8 @@ class RemoteSweepExecutor:
         plan_id = uuid.uuid4().hex[:12]
         artifact_keys = self._push_artifacts(plan.payload) if self._sync_artifacts else []
         payload = dataclasses.replace(plan.payload, cache_dir=None)
-        meta = {
-            "plan_id": plan_id,
-            "payload": payload,
-            "artifact_keys": artifact_keys,
-            # False = artifact caching explicitly opted out: workers compile
-            # locally instead of touching their persistent cache
-            "worker_cache": self._sync_artifacts,
-            "n_units": len(plan.units),
-        }
         try:
-            meta_bytes = pickle.dumps(meta)
+            payload_bytes = pickle.dumps(payload)
         except Exception as error:  # pickle raises many concrete types
             raise SweepExecutionError(
                 (),
@@ -657,16 +721,37 @@ class RemoteSweepExecutor:
                 f"remote workers ({error!r}); use a module-level scenario sampler "
                 "class, or run the sweep serially",
             ) from error
-        _atomic_write_bytes(self.spool.plan_path(plan_id), meta_bytes)
+        meta = {
+            "plan_id": plan_id,
+            "payload": payload,
+            # content hash of the payload: resident workers key warm runtimes
+            # on this, so identical repeat sweeps skip hydration entirely
+            "payload_key": hashlib.sha256(payload_bytes).hexdigest(),
+            "artifact_keys": artifact_keys,
+            # False = artifact caching explicitly opted out: workers compile
+            # locally instead of touching their persistent cache
+            "worker_cache": self._sync_artifacts,
+            "n_units": len(plan.units),
+        }
         try:
-            for unit in plan.units:
-                name = SpoolLayout.unit_name(plan_id, unit.index, attempt=0)
-                _atomic_write_bytes(self.spool.pending / name, pickle.dumps(unit))
+            _atomic_write_bytes(self.spool.plan_path(plan_id), pickle.dumps(meta))
+            self._write_units(plan, plan_id)
         except BaseException:
-            # never leave a half-submitted plan for workers to chew on
+            # never leave a half-submitted plan (or its temp files) for
+            # workers to chew on
             self._cleanup(plan_id)
             raise
         return plan_id
+
+    def _write_units(self, plan: SweepPlan, plan_id: str) -> None:
+        """Materialise the plan's units as claimable pending files.
+
+        Overridable: the service queue frontend enqueues units into a
+        priority queue instead of dropping them straight into ``pending/``.
+        """
+        for unit in plan.units:
+            name = SpoolLayout.unit_name(plan_id, unit.index, attempt=0)
+            _atomic_write_bytes(self.spool.pending / name, pickle.dumps(unit))
 
     def _push_artifacts(self, payload: ExecutionPayload) -> list[str]:
         """Copy the compiled artifacts the plan needs into the shared cache.
@@ -727,6 +812,7 @@ class RemoteSweepExecutor:
             plan_id = self.submit(plan)
             workers = self._spawn_local_workers()
             while outstanding:
+                self._on_scan()
                 drained = self._drain_done(plan_id, outstanding)
                 drained.extend(self._requeue_expired(plan_id, outstanding))
                 if drained:
@@ -790,6 +876,13 @@ class RemoteSweepExecutor:
     # ------------------------------------------------------------------ #
     # fan-in internals
     # ------------------------------------------------------------------ #
+    def _on_scan(self) -> None:
+        """Per-scan hook before drain/requeue (overridable).
+
+        The service executor pumps its dispatch queue here, so quota slots
+        freed by finished units refill within one fan-in scan.
+        """
+
     def _drain_done(self, plan_id: str, outstanding: set[int]) -> list[tuple]:
         """Collect and consume finished result files of this plan.
 
@@ -872,12 +965,21 @@ class RemoteSweepExecutor:
                     )
                 )
                 continue
-            target = self.spool.pending / SpoolLayout.unit_name(plan_id, index, attempt + 1)
+            target = self._requeue_target(plan_id, index, attempt + 1)
             try:
                 os.rename(claim, target)
             except OSError:  # the worker finished or died mid-scan; next pass
                 continue
         return failures
+
+    def _requeue_target(self, plan_id: str, index: int, attempt: int) -> Path:
+        """Where an expired lease's next attempt goes (overridable).
+
+        The base executor requeues straight into ``pending/``; the service
+        executor requeues through its priority queue so quota and fairness
+        also govern retries.
+        """
+        return self.spool.pending / SpoolLayout.unit_name(plan_id, index, attempt)
 
     def _local_workers_dead(self, workers: list[subprocess.Popen], plan_id: str) -> bool:
         """True when spawned workers *crashed* and nothing else is working.
@@ -932,6 +1034,34 @@ class RemoteSweepExecutor:
         self.spool.plan_path(plan_id).unlink(missing_ok=True)
         (self.spool.claimed / f".clock-probe-{os.getpid()}").unlink(missing_ok=True)
         horizon = time.time() - 3600.0
+        for directory in self._sweep_directories():
+            try:
+                entries = list(directory.iterdir())
+            except FileNotFoundError:
+                continue
+            for path in entries:
+                if self._plan_file(path.name, plan_id) and directory is not self.spool.plans:
+                    path.unlink(missing_ok=True)
+                elif path.name.startswith("."):
+                    # a temp file naming this plan is ours and dead for sure
+                    # (nothing is mid-write once cleanup runs — including an
+                    # aborted submit, which calls us on its failure path);
+                    # other hidden files only go once safely aged out
+                    try:
+                        if plan_id in path.name:
+                            path.unlink(missing_ok=True)
+                        elif path.is_file() and path.stat().st_mtime < horizon:
+                            path.unlink(missing_ok=True)
+                    except OSError:  # consumed under us
+                        pass
+
+    @staticmethod
+    def _plan_file(name: str, plan_id: str) -> bool:
+        """True when a (non-hidden) spool file belongs to ``plan_id``."""
+        return name.startswith(f"{plan_id}.")
+
+    def _sweep_directories(self) -> list[Path]:
+        """Every directory :meth:`_cleanup` sweeps (overridable)."""
         directories = [
             self.spool.pending,
             self.spool.claimed,
@@ -945,20 +1075,7 @@ class RemoteSweepExecutor:
             )
         except OSError:
             pass
-        for directory in directories:
-            try:
-                entries = list(directory.iterdir())
-            except FileNotFoundError:
-                continue
-            for path in entries:
-                if path.name.startswith(f"{plan_id}.") and directory is not self.spool.plans:
-                    path.unlink(missing_ok=True)
-                elif path.name.startswith("."):
-                    try:
-                        if path.is_file() and path.stat().st_mtime < horizon:
-                            path.unlink(missing_ok=True)
-                    except OSError:  # consumed under us
-                        pass
+        return directories
 
     # ------------------------------------------------------------------ #
     # local worker convenience
@@ -994,6 +1111,7 @@ class RemoteSweepExecutor:
         ]
         if self._worker_cache_dir is not None:
             command += ["--cache-dir", str(self._worker_cache_dir)]
+        command += self._worker_extra_args()
         return [
             subprocess.Popen(
                 command,
@@ -1003,6 +1121,10 @@ class RemoteSweepExecutor:
             )
             for _ in range(self._local_workers)
         ]
+
+    def _worker_extra_args(self) -> list[str]:
+        """Extra ``repro worker`` CLI flags for spawned locals (overridable)."""
+        return []
 
     @staticmethod
     def _stop_local_workers(workers: list[subprocess.Popen]) -> None:

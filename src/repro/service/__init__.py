@@ -1,0 +1,47 @@
+"""The sweep service: an always-on, queue-backed layer over the spool.
+
+Where :mod:`repro.runtime.remote` answers "run *this* sweep across
+machines", this package answers "run *everyone's* sweeps, continuously, on
+a shared warm fleet".  Three pieces compose it:
+
+* :mod:`repro.service.queue` — named queues, integer priorities,
+  per-tenant quotas and round-robin fairness layered onto the spool, plus
+  :class:`QueuedSweepExecutor`, the drop-in executor that submits through
+  them (what ``Session.service(...)`` builds);
+* :mod:`repro.service.resident` — :class:`ResidentWorker`, a spool worker
+  that keeps hydrated runtimes warm across plans (keyed by payload content
+  hash, LRU-bounded), so repeat sweeps skip interpreter spawn and
+  hydration entirely;
+* :mod:`repro.service.client` — :class:`ServiceClient`, the asyncio
+  fan-in: one poller thread multiplexes hundreds of concurrent awaited
+  sweeps over a single spool scan.
+
+:mod:`repro.service.daemon` wires the fleet side into the ``repro service
+start|status|drain`` CLI.  The operational runbook lives in
+``docs/service.md``.
+"""
+
+from .client import ServiceClient, SweepHandle
+from .daemon import format_status, service_drain, service_start
+from .queue import (
+    QueuedSweepExecutor,
+    ServiceQueue,
+    ServiceSpoolLayout,
+    service_status,
+)
+from .resident import DEFAULT_MAX_RESIDENT, ResidentWorker, resident_worker_main
+
+__all__ = [
+    "DEFAULT_MAX_RESIDENT",
+    "QueuedSweepExecutor",
+    "ResidentWorker",
+    "ServiceClient",
+    "ServiceQueue",
+    "ServiceSpoolLayout",
+    "SweepHandle",
+    "format_status",
+    "resident_worker_main",
+    "service_drain",
+    "service_start",
+    "service_status",
+]

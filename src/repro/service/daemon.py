@@ -1,0 +1,273 @@
+"""The always-on service process: warm workers plus a queue dispatcher.
+
+``repro service start`` runs :func:`service_start`: it keeps a fixed fleet
+of resident worker subprocesses attached to one spool (respawning any that
+die), and pumps every discovered queue on each tick so dispatch respects
+priorities, per-tenant quotas and round-robin fairness.  Because this one
+process is the only pump, quota enforcement is strict (see
+:mod:`repro.service.queue`).  SIGTERM (or Ctrl-C) drains gracefully: the
+workers get SIGTERM — each finishes or releases its current claim — and the
+daemon waits for them before returning.
+
+``repro service status`` renders :func:`~repro.service.queue.\
+service_status`; ``repro service drain`` runs :func:`service_drain`, which
+pumps until the queues, pending set and claimed set are all empty (or a
+timeout passes) — the pre-shutdown barrier.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.runtime.remote import (
+    DEFAULT_HEARTBEAT_SECONDS,
+    DEFAULT_POLL_INTERVAL,
+)
+
+from .queue import ServiceQueue, ServiceSpoolLayout, service_status
+from .resident import DEFAULT_MAX_RESIDENT
+
+__all__ = ["format_status", "service_drain", "service_start", "service_status"]
+
+#: how many resident workers ``repro service start`` runs by default
+DEFAULT_SERVICE_WORKERS = 2
+
+
+def _spawn_resident_worker(
+    layout: ServiceSpoolLayout,
+    *,
+    poll_interval: float,
+    heartbeat: float,
+    max_resident: int,
+    cache_dir: str | os.PathLike | None,
+) -> subprocess.Popen:
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "worker",
+        "--spool",
+        str(layout.root),
+        "--poll",
+        str(poll_interval),
+        "--heartbeat",
+        str(heartbeat),
+        "--resident",
+        "--max-resident",
+        str(max_resident),
+    ]
+    if cache_dir is not None:
+        command += ["--cache-dir", str(cache_dir)]
+    return subprocess.Popen(
+        command, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+
+
+def _pump_all_queues(
+    layout: ServiceSpoolLayout,
+    queues: dict[str, ServiceQueue],
+    quota: int | None,
+) -> int:
+    """Pump every queue directory present in the spool; returns dispatches."""
+    try:
+        names = [child.name for child in layout.queues.iterdir() if child.is_dir()]
+    except FileNotFoundError:
+        return 0
+    dispatched = 0
+    for name in sorted(names):
+        queue = queues.get(name)
+        if queue is None:
+            try:
+                queue = ServiceQueue(layout, name, quota=quota)
+            except ValueError:  # foreign directory name: not a queue
+                continue
+            queues[name] = queue
+        dispatched += queue.pump()
+    return dispatched
+
+
+def service_start(
+    spool: str | os.PathLike,
+    *,
+    workers: int = DEFAULT_SERVICE_WORKERS,
+    quota: int | None = None,
+    max_resident: int = DEFAULT_MAX_RESIDENT,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    heartbeat: float = DEFAULT_HEARTBEAT_SECONDS,
+    cache_dir: str | os.PathLike | None = None,
+    max_runtime: float | None = None,
+    log: Callable[[str], None] | None = print,
+) -> int:
+    """Run the service loop: resident fleet + queue pump, until SIGTERM.
+
+    ``workers`` resident worker subprocesses are kept attached to the spool
+    (dead ones are respawned), every queue is pumped each ``poll_interval``
+    with ``quota`` as the default per-tenant in-flight bound, and
+    ``max_runtime`` (seconds, ``None`` = forever) bounds the loop for
+    supervised or test deployments.  Returns 0 on a graceful shutdown.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    layout = ServiceSpoolLayout(spool).ensure()
+    stop = {"requested": False}
+
+    def _request_stop(signum: int, frame: Any) -> None:
+        stop["requested"] = True
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _request_stop)
+    except ValueError:  # not the main thread (tests drive max_runtime instead)
+        previous = None
+    fleet = [
+        _spawn_resident_worker(
+            layout,
+            poll_interval=poll_interval,
+            heartbeat=heartbeat,
+            max_resident=max_resident,
+            cache_dir=cache_dir,
+        )
+        for _ in range(workers)
+    ]
+    if log is not None:
+        log(
+            f"service on {layout.root}: {workers} resident worker(s), "
+            f"quota {quota if quota is not None else '∞'}, "
+            f"pump every {poll_interval}s"
+        )
+    queues: dict[str, ServiceQueue] = {}
+    started = time.monotonic()
+    try:
+        while not stop["requested"]:
+            if max_runtime is not None and time.monotonic() - started >= max_runtime:
+                break
+            _pump_all_queues(layout, queues, quota)
+            for position, worker in enumerate(fleet):
+                if worker.poll() is not None:
+                    if log is not None:
+                        log(f"worker exited (code {worker.returncode}); respawning")
+                    fleet[position] = _spawn_resident_worker(
+                        layout,
+                        poll_interval=poll_interval,
+                        heartbeat=heartbeat,
+                        max_resident=max_resident,
+                        cache_dir=cache_dir,
+                    )
+            time.sleep(poll_interval)
+    except KeyboardInterrupt:
+        pass  # Ctrl-C drains exactly like SIGTERM
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+        for worker in fleet:
+            if worker.poll() is None:
+                worker.terminate()  # workers release/finish their claim
+        for worker in fleet:
+            try:
+                worker.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
+                worker.kill()
+                worker.wait(timeout=10.0)
+        if log is not None:
+            log("service stopped")
+    return 0
+
+
+def service_drain(
+    spool: str | os.PathLike,
+    *,
+    quota: int | None = None,
+    timeout: float | None = None,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    log: Callable[[str], None] | None = print,
+) -> int:
+    """Pump until the spool is drained; returns 0 (drained) or 1 (timeout).
+
+    Drained means: every queue directory empty, nothing pending, nothing
+    claimed.  Results in ``done/`` are the submitters' to consume and are
+    not waited on.  Run this before stopping workers for maintenance.
+    """
+    layout = ServiceSpoolLayout(spool).ensure()
+    queues: dict[str, ServiceQueue] = {}
+    deadline = None if timeout is None else time.monotonic() + timeout
+
+    def _counts() -> tuple[int, int, int]:
+        queued = sum(
+            1
+            for child in layout.queues.iterdir()
+            if child.is_dir()
+            for _ in child.iterdir()
+        )
+        pending = sum(1 for path in layout.pending.iterdir() if not path.name.startswith("."))
+        claimed = sum(
+            1
+            for path in layout.claimed.iterdir()
+            if not path.name.startswith(".")
+        )
+        return queued, pending, claimed
+
+    while True:
+        _pump_all_queues(layout, queues, quota)
+        queued, pending, claimed = _counts()
+        if queued == 0 and pending == 0 and claimed == 0:
+            if log is not None:
+                log(f"drained: {layout.root} has no queued, pending or claimed units")
+            return 0
+        if deadline is not None and time.monotonic() > deadline:
+            if log is not None:
+                log(
+                    f"drain timed out after {timeout}s: {queued} queued, "
+                    f"{pending} pending, {claimed} claimed unit(s) remain"
+                )
+            return 1
+        time.sleep(poll_interval)
+
+
+def format_status(status: dict[str, Any]) -> str:
+    """Render a :func:`~repro.service.queue.service_status` dict for humans."""
+    lines = [f"spool      {status['root']}"]
+    lines.append(
+        "units      "
+        f"pending {status['pending']}, claimed {status['claimed']}, "
+        f"done {status['done']}, plans {status['plans']}"
+    )
+    if status["queues"]:
+        for name, info in sorted(status["queues"].items()):
+            tenants = ", ".join(
+                f"{tenant}={count}" for tenant, count in sorted(info["by_tenant"].items())
+            )
+            priorities = ", ".join(
+                f"p{priority}={count}"
+                for priority, count in sorted(info["by_priority"].items(), reverse=True)
+            )
+            detail = "; ".join(part for part in (tenants, priorities) if part)
+            in_flight = status["in_flight"].get(name, {})
+            flight = ", ".join(
+                f"{tenant}={count}" for tenant, count in sorted(in_flight.items())
+            )
+            lines.append(
+                f"queue      {name}: {info['depth']} queued"
+                + (f" ({detail})" if detail else "")
+                + (f"; in-flight {flight}" if flight else "")
+            )
+    else:
+        lines.append("queue      (none)")
+    if status["workers"]:
+        for worker_id, age in sorted(status["workers"].items()):
+            lines.append(f"worker     {worker_id} (seen {age:.1f}s ago)")
+    else:
+        lines.append("worker     (none resident)")
+    return "\n".join(lines)
+

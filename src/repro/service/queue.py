@@ -1,0 +1,519 @@
+"""Queue frontend of the sweep service: priorities, tenants, quotas.
+
+The spool transport (:mod:`repro.runtime.remote`) is deliberately flat —
+every pending unit is immediately claimable by any worker, first
+rename wins.  A shared always-on fleet needs admission control on top:
+submissions from many tenants, some more urgent than others, none allowed
+to monopolise the workers.  This module layers exactly that onto the spool
+without changing the worker contract:
+
+* **named queues** — each queue is one directory under ``spool/queues/``
+  holding *undispatched* unit files; workers never look there;
+* **priorities** — queue entries carry an integer priority (higher runs
+  first); the pump dispatches strictly by priority band;
+* **tenants + quotas** — entries carry a tenant tag, a per-tenant quota
+  bounds how many of that tenant's units may be in flight (dispatched but
+  unfinished) at once, and *within* a priority band tenants are interleaved
+  round-robin, so no tenant can starve another by flooding the queue.
+
+Dispatch is the atomic rename of a queue entry into ``spool/pending/`` —
+from that moment the ordinary spool machinery (claim, lease, requeue,
+result) takes over unchanged.  In-flight accounting uses a ledger of empty
+marker files in ``spool/inflight/``: one per dispatched unit, written
+before the dispatch rename and garbage-collected once the unit is neither
+pending nor claimed (finished, withdrawn, or re-queued).
+
+Concurrency note: quota enforcement is *strict* under a single dispatcher
+(one :meth:`ServiceQueue.pump` caller per queue — the shape the service
+daemon and the async client use) and best-effort when several processes
+pump the same queue concurrently, where racing dispatches may transiently
+overshoot a quota by at most the number of extra dispatchers.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import time
+from collections import deque
+from dataclasses import dataclass
+from itertools import groupby
+from pathlib import Path
+from typing import Any
+
+from repro.runtime.plan import SweepPlan
+from repro.runtime.remote import (
+    RemoteSweepExecutor,
+    SpoolLayout,
+    _atomic_write_bytes,
+)
+
+__all__ = [
+    "QueueEntry",
+    "QueuedSweepExecutor",
+    "ServiceQueue",
+    "ServiceSpoolLayout",
+    "service_status",
+]
+
+#: separates the fields of queue-entry and ledger file names; forbidden in
+#: queue and tenant names (plan ids are dot-separated hex, so never collide)
+_ENTRY_SEP = "~"
+
+_TOKEN = re.compile(r"[A-Za-z0-9_-]+")
+
+
+def _check_token(value: str, what: str) -> str:
+    """Validate a queue or tenant name (safe as a file-name field)."""
+    if not isinstance(value, str) or not _TOKEN.fullmatch(value):
+        raise ValueError(f"{what} must match [A-Za-z0-9_-]+, got {value!r}")
+    return value
+
+
+class ServiceSpoolLayout(SpoolLayout):
+    """The spool layout plus the service's three extra directories.
+
+    ``queues/<name>/`` holds undispatched unit files per named queue;
+    ``inflight/`` holds the dispatch ledger (one empty marker per
+    dispatched-but-unfinished unit, the quota accounting source of truth);
+    ``workers/`` holds resident-worker presence files (touched while a
+    worker lives, so ``repro service status`` can report the fleet).
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        super().__init__(root)
+        self.queues = self.root / "queues"
+        self.inflight = self.root / "inflight"
+        self.workers = self.root / "workers"
+
+    def ensure(self) -> "ServiceSpoolLayout":
+        """Create the spool and service directories (idempotent)."""
+        super().ensure()
+        for directory in (self.queues, self.inflight, self.workers):
+            directory.mkdir(parents=True, exist_ok=True)
+        return self
+
+    def queue_dir(self, name: str) -> Path:
+        """The entry directory of one named queue."""
+        return self.queues / name
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """One parsed, undispatched unit file sitting in a queue directory."""
+
+    priority: int
+    tenant: str
+    seq: int
+    plan_id: str
+    index: int
+    attempt: int
+    path: Path
+
+    @property
+    def base_name(self) -> str:
+        """The plain spool unit name dispatch renames this entry to."""
+        return SpoolLayout.unit_name(self.plan_id, self.index, self.attempt)
+
+
+def _entry_name(priority: int, tenant: str, seq: int, base_name: str) -> str:
+    return f"p{priority}{_ENTRY_SEP}{tenant}{_ENTRY_SEP}{seq:020d}{_ENTRY_SEP}{base_name}"
+
+
+def _parse_entry(path: Path) -> QueueEntry | None:
+    """Parse one queue-entry file name, or ``None`` for foreign files."""
+    parts = path.name.split(_ENTRY_SEP)
+    if len(parts) != 4 or not parts[0].startswith("p"):
+        return None
+    try:
+        priority = int(parts[0][1:])
+        seq = int(parts[2])
+        plan_id, index, attempt = SpoolLayout.parse_unit_name(parts[3])
+    except ValueError:
+        return None
+    return QueueEntry(
+        priority=priority,
+        tenant=parts[1],
+        seq=seq,
+        plan_id=plan_id,
+        index=index,
+        attempt=attempt,
+        path=path,
+    )
+
+
+def _ledger_name(queue: str, tenant: str, plan_id: str, index: int) -> str:
+    return f"{queue}{_ENTRY_SEP}{tenant}{_ENTRY_SEP}{plan_id}.u{index:06d}"
+
+
+def _parse_ledger(name: str) -> tuple[str, str, str, int] | None:
+    """``(queue, tenant, plan_id, index)`` of a ledger file, or ``None``."""
+    parts = name.split(_ENTRY_SEP)
+    if len(parts) != 3:
+        return None
+    unit = parts[2].split(".")
+    if len(unit) != 2 or not unit[1].startswith("u"):
+        return None
+    try:
+        index = int(unit[1][1:])
+    except ValueError:
+        return None
+    return parts[0], parts[1], unit[0], index
+
+
+class ServiceQueue:
+    """One named priority queue over a service spool.
+
+    Parameters
+    ----------
+    spool:
+        The spool root, a :class:`SpoolLayout` or a
+        :class:`ServiceSpoolLayout`.
+    name:
+        Queue name (``[A-Za-z0-9_-]+``); each name is one directory.
+    quota:
+        Default per-tenant in-flight unit bound enforced by :meth:`pump`;
+        ``None`` means unbounded.
+    quotas:
+        Optional per-tenant overrides (``{tenant: quota_or_None}``).
+    """
+
+    def __init__(
+        self,
+        spool: str | os.PathLike | SpoolLayout,
+        name: str = "default",
+        *,
+        quota: int | None = None,
+        quotas: dict[str, int | None] | None = None,
+    ) -> None:
+        if isinstance(spool, SpoolLayout):
+            spool = spool.root
+        self.layout = ServiceSpoolLayout(spool).ensure()
+        self.name = _check_token(name, "queue name")
+        if quota is not None and int(quota) < 1:
+            raise ValueError(f"quota must be >= 1 (or None), got {quota}")
+        self._quota = int(quota) if quota is not None else None
+        self._quotas: dict[str, int | None] = {}
+        for tenant, bound in (quotas or {}).items():
+            _check_token(tenant, "tenant")
+            if bound is not None and int(bound) < 1:
+                raise ValueError(f"quota must be >= 1 (or None), got {bound}")
+            self._quotas[tenant] = int(bound) if bound is not None else None
+        self.directory = self.layout.queue_dir(self.name)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def quota_for(self, tenant: str) -> int | None:
+        """The in-flight bound of one tenant (``None`` = unbounded)."""
+        return self._quotas.get(tenant, self._quota)
+
+    # ------------------------------------------------------------------ #
+    # enqueue
+    # ------------------------------------------------------------------ #
+    def entry_path(
+        self,
+        plan_id: str,
+        index: int,
+        attempt: int,
+        *,
+        priority: int,
+        tenant: str,
+    ) -> Path:
+        """A fresh entry path for one unit attempt (new sequence number)."""
+        _check_token(tenant, "tenant")
+        base = SpoolLayout.unit_name(plan_id, index, attempt)
+        return self.directory / _entry_name(int(priority), tenant, time.time_ns(), base)
+
+    def enqueue_bytes(
+        self,
+        data: bytes,
+        plan_id: str,
+        index: int,
+        attempt: int,
+        *,
+        priority: int,
+        tenant: str,
+    ) -> Path:
+        """Write one pickled unit as a queue entry (crash-atomic)."""
+        target = self.entry_path(plan_id, index, attempt, priority=priority, tenant=tenant)
+        _atomic_write_bytes(target, data)
+        return target
+
+    def entries(self) -> list[QueueEntry]:
+        """Every parseable entry currently queued (unsorted)."""
+        try:
+            paths = list(self.directory.iterdir())
+        except FileNotFoundError:
+            return []
+        parsed = (_parse_entry(path) for path in paths)
+        return [entry for entry in parsed if entry is not None]
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def _live_units(self) -> set[tuple[str, int]]:
+        """``(plan_id, index)`` of every unit currently pending or claimed."""
+        live: set[tuple[str, int]] = set()
+        for directory in (self.layout.pending, self.layout.claimed):
+            try:
+                names = [path.name for path in directory.iterdir()]
+            except FileNotFoundError:
+                continue
+            for name in names:
+                try:
+                    plan_id, index, _ = SpoolLayout.parse_unit_name(name)
+                except ValueError:
+                    continue
+                live.add((plan_id, index))
+        return live
+
+    def in_flight(self) -> dict[str, int]:
+        """Live dispatched-unit counts per tenant, GC-ing stale ledgers.
+
+        A ledger whose unit is neither pending nor claimed is dead — the
+        unit finished, was withdrawn, or was re-queued (it will get a fresh
+        ledger on re-dispatch) — and is removed here, freeing its quota
+        slot.  One pending+claimed listing per call, not one stat per
+        ledger.
+        """
+        try:
+            ledgers = list(self.layout.inflight.iterdir())
+        except FileNotFoundError:
+            return {}
+        live: set[tuple[str, int]] | None = None
+        counts: dict[str, int] = {}
+        for path in ledgers:
+            parsed = _parse_ledger(path.name)
+            if parsed is None or parsed[0] != self.name:
+                continue
+            if live is None:
+                live = self._live_units()
+            _, tenant, plan_id, index = parsed
+            if (plan_id, index) in live:
+                counts[tenant] = counts.get(tenant, 0) + 1
+            else:
+                path.unlink(missing_ok=True)
+        return counts
+
+    def _dispatch(self, entry: QueueEntry) -> bool:
+        """Move one entry into ``pending/``; ledger first, rename second.
+
+        The ledger is written *before* the rename so quota accounting never
+        undercounts: a crash in between leaves a stale ledger the next
+        :meth:`in_flight` GCs.  Losing the rename race (a concurrent pump
+        dispatched the same entry) leaves the ledger alone — it belongs to
+        whoever won.
+        """
+        ledger = self.layout.inflight / _ledger_name(
+            self.name, entry.tenant, entry.plan_id, entry.index
+        )
+        _atomic_write_bytes(ledger, b"")
+        try:
+            os.rename(entry.path, self.layout.pending / entry.base_name)
+        except OSError:
+            return False
+        return True
+
+    def pump(self, *, max_dispatch: int | None = None) -> int:
+        """Dispatch queued entries into ``pending/`` under quota and fairness.
+
+        Strictly higher-priority entries dispatch first.  Within one
+        priority band, tenants are interleaved round-robin (each tenant's
+        own entries stay in submission order), and a tenant at its quota is
+        skipped — in *every* band — until finished units free slots.
+        Returns the number of units dispatched.
+        """
+        in_flight = self.in_flight()
+        entries = sorted(
+            self.entries(), key=lambda e: (-e.priority, e.seq, e.path.name)
+        )
+        dispatched = 0
+        blocked: set[str] = set()
+        for _, band in groupby(entries, key=lambda e: e.priority):
+            per_tenant: dict[str, deque[QueueEntry]] = {}
+            for entry in band:
+                per_tenant.setdefault(entry.tenant, deque()).append(entry)
+            rotation = deque(sorted(per_tenant))
+            while rotation:
+                tenant = rotation.popleft()
+                if tenant in blocked:
+                    continue
+                quota = self.quota_for(tenant)
+                if quota is not None and in_flight.get(tenant, 0) >= quota:
+                    blocked.add(tenant)
+                    continue
+                entry = per_tenant[tenant].popleft()
+                if self._dispatch(entry):
+                    in_flight[tenant] = in_flight.get(tenant, 0) + 1
+                    dispatched += 1
+                    if max_dispatch is not None and dispatched >= max_dispatch:
+                        return dispatched
+                if per_tenant[tenant]:
+                    rotation.append(tenant)
+        return dispatched
+
+    def withdraw(self, plan_id: str) -> int:
+        """Drop every queued entry and ledger of one plan; returns the count."""
+        removed = 0
+        for entry in self.entries():
+            if entry.plan_id == plan_id:
+                entry.path.unlink(missing_ok=True)
+                removed += 1
+        try:
+            ledgers = list(self.layout.inflight.iterdir())
+        except FileNotFoundError:
+            return removed
+        for path in ledgers:
+            parsed = _parse_ledger(path.name)
+            if parsed is not None and parsed[0] == self.name and parsed[2] == plan_id:
+                path.unlink(missing_ok=True)
+        return removed
+
+
+def service_status(spool: str | os.PathLike) -> dict[str, Any]:
+    """A point-in-time snapshot of one service spool, as a plain dict.
+
+    Reports per-queue depth (split by tenant and priority), live in-flight
+    counts per queue and tenant, the raw spool directory counts, and the
+    resident workers whose presence files are fresh (age in seconds).
+    Purely observational: nothing is dispatched, GC'd, or modified.
+    """
+    layout = ServiceSpoolLayout(spool).ensure()
+    queues: dict[str, Any] = {}
+    try:
+        queue_dirs = sorted(child for child in layout.queues.iterdir() if child.is_dir())
+    except FileNotFoundError:
+        queue_dirs = []
+    for queue_dir in queue_dirs:
+        by_tenant: dict[str, int] = {}
+        by_priority: dict[int, int] = {}
+        depth = 0
+        try:
+            paths = list(queue_dir.iterdir())
+        except FileNotFoundError:
+            paths = []
+        for path in paths:
+            entry = _parse_entry(path)
+            if entry is None:
+                continue
+            depth += 1
+            by_tenant[entry.tenant] = by_tenant.get(entry.tenant, 0) + 1
+            by_priority[entry.priority] = by_priority.get(entry.priority, 0) + 1
+        queues[queue_dir.name] = {
+            "depth": depth,
+            "by_tenant": by_tenant,
+            "by_priority": by_priority,
+        }
+    in_flight: dict[str, dict[str, int]] = {}
+    try:
+        ledgers = list(layout.inflight.iterdir())
+    except FileNotFoundError:
+        ledgers = []
+    for path in ledgers:
+        parsed = _parse_ledger(path.name)
+        if parsed is None:
+            continue
+        queue_name, tenant, _, _ = parsed
+        per_tenant = in_flight.setdefault(queue_name, {})
+        per_tenant[tenant] = per_tenant.get(tenant, 0) + 1
+    def _count(directory: Path) -> int:
+        try:
+            return sum(1 for path in directory.iterdir() if not path.name.startswith("."))
+        except FileNotFoundError:
+            return 0
+    workers: dict[str, float] = {}
+    now = time.time()
+    try:
+        presence = list(layout.workers.iterdir())
+    except FileNotFoundError:
+        presence = []
+    for path in presence:
+        try:
+            workers[path.name] = max(0.0, now - path.stat().st_mtime)
+        except OSError:
+            continue
+    return {
+        "root": str(layout.root),
+        "queues": queues,
+        "in_flight": in_flight,
+        "pending": _count(layout.pending),
+        "claimed": _count(layout.claimed),
+        "done": _count(layout.done),
+        "plans": _count(layout.plans),
+        "workers": workers,
+    }
+
+
+class QueuedSweepExecutor(RemoteSweepExecutor):
+    """A :class:`RemoteSweepExecutor` whose units flow through a service queue.
+
+    Same submit/stream/run contract and the same bit-identical results —
+    the only difference is *when* units become claimable: instead of landing
+    directly in ``pending/``, they are enqueued with this executor's
+    priority and tenant tag, and each fan-in scan pumps the queue, so
+    dispatch respects priorities, per-tenant quotas and round-robin
+    fairness.  Lease-expired units are *re-queued through the queue* as
+    well: retries compete under the same admission control as fresh work.
+
+    Extra parameters on top of the base executor: ``queue`` (name),
+    ``tenant``, ``priority`` (higher dispatches first), ``quota`` /
+    ``quotas`` (per-tenant in-flight bounds), and ``pump`` (``False``
+    disables the per-scan pump, for an external dispatcher such as the
+    service daemon or the async client's poller).
+    """
+
+    def __init__(
+        self,
+        spool: str | os.PathLike,
+        *,
+        queue: str = "default",
+        tenant: str = "default",
+        priority: int = 0,
+        quota: int | None = None,
+        quotas: dict[str, int | None] | None = None,
+        pump: bool = True,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(spool, **kwargs)
+        self.spool = ServiceSpoolLayout(spool).ensure()
+        self.queue = ServiceQueue(self.spool, queue, quota=quota, quotas=quotas)
+        self.tenant = _check_token(tenant, "tenant")
+        self.priority = int(priority)
+        self._pump_enabled = bool(pump)
+
+    # -- submit: enqueue instead of writing straight into pending/ -------- #
+    def _write_units(self, plan: SweepPlan, plan_id: str) -> None:
+        for unit in plan.units:
+            self.queue.enqueue_bytes(
+                pickle.dumps(unit),
+                plan_id,
+                unit.index,
+                0,
+                priority=self.priority,
+                tenant=self.tenant,
+            )
+
+    # -- fan-in: pump the queue on every scan ----------------------------- #
+    def _on_scan(self) -> None:
+        if self._pump_enabled:
+            self.queue.pump()
+
+    # -- requeue: expired leases go back through admission control -------- #
+    def _requeue_target(self, plan_id: str, index: int, attempt: int) -> Path:
+        return self.queue.entry_path(
+            plan_id, index, attempt, priority=self.priority, tenant=self.tenant
+        )
+
+    # -- cleanup: also sweep the queue and ledger directories ------------- #
+    def _sweep_directories(self) -> list[Path]:
+        return super()._sweep_directories() + [self.queue.directory, self.spool.inflight]
+
+    @staticmethod
+    def _plan_file(name: str, plan_id: str) -> bool:
+        # also match queue entries (p0~tenant~seq~<plan>.u...) and ledgers
+        # (queue~tenant~<plan>.u...): both name the plan after the last "~"
+        return name.startswith(f"{plan_id}.") or f"{_ENTRY_SEP}{plan_id}." in name
+
+    # -- spawned local workers stay warm ---------------------------------- #
+    def _worker_extra_args(self) -> list[str]:
+        return ["--resident"]

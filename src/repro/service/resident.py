@@ -1,0 +1,163 @@
+"""Resident workers: spool workers that stay warm across plans.
+
+A plain :class:`~repro.runtime.remote.SpoolWorker` caches its hydrated
+:class:`~repro.runtime.pool._WorkerRuntime` *per plan id*, and the parent's
+cleanup withdraws the plan when the sweep ends — so every repeat of an
+identical sweep re-hydrates from scratch (artifact sync, ``.npz`` read,
+manager rebuild).  For the service's workload — many small sweeps against a
+handful of distinct configurations — that hydration dominates wall-clock.
+
+A :class:`ResidentWorker` additionally keys runtimes by the submit-side
+**payload content hash** (``payload_key`` in the plan metadata, a sha256 of
+the pickled :class:`~repro.runtime.plan.ExecutionPayload`): two plans with
+byte-identical payloads share one runtime, however far apart they were
+submitted.  The resident pool is LRU-bounded (``max_resident``), so a
+long-lived worker serving many tenants holds the hottest configurations
+and evicts the rest.
+
+Warm reuse is determinism-safe: :meth:`_WorkerRuntime.execute` positions
+the scenario sampler *absolutely* (``seek(base_cursor + offset)``) and
+seeds each unit's rng from the unit itself, so a runtime that already
+executed a thousand units produces bit-identical records to a freshly
+hydrated one.
+
+Resident workers also maintain a presence file under ``spool/workers/``
+(touched on every scan) so ``repro service status`` can report the fleet,
+and install the same graceful-SIGTERM handling as the base worker.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.runtime.pool import _WorkerRuntime
+from repro.runtime.remote import (
+    DEFAULT_HEARTBEAT_SECONDS,
+    DEFAULT_POLL_INTERVAL,
+    SpoolWorker,
+)
+
+from .queue import ServiceSpoolLayout
+
+__all__ = ["DEFAULT_MAX_RESIDENT", "ResidentWorker", "resident_worker_main"]
+
+#: how many distinct payload configurations a resident worker keeps warm
+DEFAULT_MAX_RESIDENT = 8
+
+
+class ResidentWorker(SpoolWorker):
+    """A :class:`SpoolWorker` with an LRU pool of warm runtimes.
+
+    Accepts every base-worker parameter plus ``max_resident``, the bound on
+    distinct payload configurations kept hydrated at once.  ``warm_hits``
+    and ``hydrations`` count runtime reuses versus cold builds (the service
+    benchmark asserts on them).
+    """
+
+    def __init__(
+        self,
+        spool: str | os.PathLike,
+        *,
+        max_resident: int = DEFAULT_MAX_RESIDENT,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(spool, **kwargs)
+        if int(max_resident) < 1:
+            raise ValueError(f"max_resident must be >= 1, got {max_resident}")
+        self.spool = ServiceSpoolLayout(self.spool.root).ensure()
+        self._max_resident = int(max_resident)
+        # (payload_key, worker_cache) -> runtime; insertion order is LRU order
+        self._resident: OrderedDict[tuple[str, bool], _WorkerRuntime] = OrderedDict()
+        self.warm_hits = 0
+        self.hydrations = 0
+
+    # ------------------------------------------------------------------ #
+    # warm runtime pool
+    # ------------------------------------------------------------------ #
+    def _runtime_for(self, plan_id: str, meta: dict) -> _WorkerRuntime:
+        if plan_id in self._runtimes:
+            return self._runtimes[plan_id]
+        key = meta.get("payload_key")
+        if key is None:  # pre-service submitter: plain per-plan behaviour
+            return super()._runtime_for(plan_id, meta)
+        resident_key = (key, bool(meta.get("worker_cache", True)))
+        runtime = self._resident.get(resident_key)
+        if runtime is not None:
+            self._resident.move_to_end(resident_key)
+            self._runtimes[plan_id] = runtime
+            self.warm_hits += 1
+            return runtime
+        runtime = super()._runtime_for(plan_id, meta)  # hydrates + caches per plan
+        self.hydrations += 1
+        self._resident[resident_key] = runtime
+        while len(self._resident) > self._max_resident:
+            self._resident.popitem(last=False)
+        return runtime
+
+    # ------------------------------------------------------------------ #
+    # fleet presence
+    # ------------------------------------------------------------------ #
+    @property
+    def _presence_path(self) -> Path:
+        return self.spool.workers / self.worker_id
+
+    def _touch_presence(self) -> None:
+        try:
+            self._presence_path.touch()
+        except OSError:  # transient (NFS hiccup): next scan retries
+            pass
+
+    def _on_idle_scan(self) -> None:
+        super()._on_idle_scan()
+        self._touch_presence()
+
+    def _execute_claim(self, claim: Path) -> bool:
+        try:
+            return super()._execute_claim(claim)
+        finally:
+            self._touch_presence()
+
+    def run(self, **kwargs: Any) -> int:
+        self._touch_presence()
+        try:
+            return super().run(**kwargs)
+        finally:
+            self._presence_path.unlink(missing_ok=True)
+
+
+def resident_worker_main(
+    spool: str | os.PathLike,
+    *,
+    cache_dir: str | os.PathLike | None = None,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    heartbeat: float = DEFAULT_HEARTBEAT_SECONDS,
+    max_idle: float | None = None,
+    max_units: int | None = None,
+    max_resident: int = DEFAULT_MAX_RESIDENT,
+    worker_id: str | None = None,
+    log: Callable[[str], None] | None = print,
+    install_signals: bool = False,
+) -> int:
+    """The ``repro worker --resident`` entry point; returns executed units."""
+    worker = ResidentWorker(
+        spool,
+        max_resident=max_resident,
+        cache_dir=cache_dir,
+        poll_interval=poll_interval,
+        heartbeat=heartbeat,
+        worker_id=worker_id,
+        log=log,
+    )
+    if install_signals:
+        worker.install_signal_handlers()
+    if log is not None:
+        log(
+            f"[{worker.worker_id}] resident on spool {worker.spool.root} "
+            f"(poll {poll_interval}s, heartbeat {heartbeat}s, "
+            f"max-resident {max_resident}, "
+            f"max-idle {'∞' if max_idle is None else f'{max_idle}s'})"
+        )
+    return worker.run(max_idle=max_idle, max_units=max_units)
