@@ -52,3 +52,15 @@ def paper_controllers(paper_system, paper_deadlines):
 def fast_workload():
     """A QCIF workload for benches where paper scale would be gratuitous."""
     return small_encoder(seed=0, n_frames=6)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush telemetry accumulated during a REPRO_OBS=1 bench job.
+
+    A no-op unless telemetry is enabled and REPRO_OBS_DIR is set; worker
+    subprocesses flush their own files, this covers the bench process
+    itself so the CI jobs can upload the JSONL as an artifact.
+    """
+    from repro.obs import export
+
+    export.flush("bench-session")

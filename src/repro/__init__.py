@@ -27,6 +27,8 @@ The library provides:
 * :mod:`repro.service` — the always-on sweep service: priority/tenant
   queues over the spool, resident warm workers and an asyncio fan-in
   client for hundreds of concurrent sweeps.
+* :mod:`repro.obs` — unified telemetry: metrics registries, cross-process
+  span tracing and JSONL export, off by default (``REPRO_OBS=1``).
 
 Quick start::
 
@@ -61,6 +63,7 @@ _SUBMODULES = (
     "experiments",
     "extensions",
     "media",
+    "obs",
     "platform",
     "runtime",
     "service",

@@ -74,6 +74,9 @@ from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.obs import export as obs_export
+from repro.obs import trace as obs_trace
+
 from repro.core.compiler import CompiledControllers, QualityManagerCompiler
 from repro.core.controller import OverheadModelProtocol, run_cycle
 from repro.core.deadlines import DeadlineFunction
@@ -803,16 +806,20 @@ class Session:
         n_cycles = self._default_cycles if cycles is None else int(cycles)
         used_seed = self._seed if seed is None else int(seed)
         self._check_run_args(n_cycles, scenarios)  # before any compilation
-        manager = self.build()
-        outcomes = run_cycles_batch(
-            self._execution_system(),
-            manager,
-            n_cycles,
-            scenarios=scenarios,
-            rng=np.random.default_rng(used_seed),
-            overhead_model=self._resolve_overhead_model(),
-            vectorize=self._effective_vectorize(vectorize),
-        )
+        with obs_trace.span("session.run", manager=self._spec.key, cycles=n_cycles):
+            with obs_trace.span("session.compile"):
+                manager = self.build()
+            with obs_trace.span("session.execute"):
+                outcomes = run_cycles_batch(
+                    self._execution_system(),
+                    manager,
+                    n_cycles,
+                    scenarios=scenarios,
+                    rng=np.random.default_rng(used_seed),
+                    overhead_model=self._resolve_overhead_model(),
+                    vectorize=self._effective_vectorize(vectorize),
+                )
+        obs_export.flush()
         return RunResult(
             manager_key=self._spec.key,
             manager_name=manager.name,
@@ -897,7 +904,10 @@ class Session:
                 return self._compare_parallel_redraw(
                     chosen, n_cycles, used_seed, pool_config, progress, mode, stream
                 )
-        scenarios = system.draw_scenarios(n_cycles, np.random.default_rng(used_seed))
+        with obs_trace.span("session.draw", cycles=n_cycles):
+            scenarios = system.draw_scenarios(
+                n_cycles, np.random.default_rng(used_seed)
+            )
         if use_pool:
             return self._compare_parallel(
                 chosen, scenarios, used_seed, pool_config, progress, mode, stream
@@ -908,13 +918,14 @@ class Session:
         runs: dict[str, RunResult] = {}
         for index, spec in enumerate(chosen):
             manager = build_manager(spec, context)
-            outcomes = run_cycles_batch(
-                system,
-                manager,
-                scenarios=scenarios,
-                overhead_model=overhead_model,
-                vectorize=mode,
-            )
+            with obs_trace.span("session.execute", manager=str(spec)):
+                outcomes = run_cycles_batch(
+                    system,
+                    manager,
+                    scenarios=scenarios,
+                    overhead_model=overhead_model,
+                    vectorize=mode,
+                )
             label = unique_label(runs, manager.name, index)
             runs[label] = RunResult(
                 manager_key=spec.key,
@@ -928,6 +939,7 @@ class Session:
                 # the spec string, exactly what the parallel path reports
                 # (final labels need the executed managers' names)
                 progress(index + 1, len(chosen), str(spec))
+        obs_export.flush()
         if stream:
             # edge inputs (cycles <= 0) skip the spool but must keep the
             # documented (label, RunResult) iterator shape
@@ -998,14 +1010,15 @@ class Session:
         runs: dict[str, RunResult] = {}
         for index, (label, manager_spec, n_cycles, used_seed) in enumerate(entries):
             manager = build_manager(manager_spec, context)
-            outcomes = run_cycles_batch(
-                system,
-                manager,
-                n_cycles,
-                rng=np.random.default_rng(used_seed),
-                overhead_model=overhead_model,
-                vectorize=mode,
-            )
+            with obs_trace.span("session.execute", label=label, manager=manager_spec.key):
+                outcomes = run_cycles_batch(
+                    system,
+                    manager,
+                    n_cycles,
+                    rng=np.random.default_rng(used_seed),
+                    overhead_model=overhead_model,
+                    vectorize=mode,
+                )
             final_label = unique_label(runs, label, index)
             runs[final_label] = RunResult(
                 manager_key=manager_spec.key,
@@ -1017,6 +1030,7 @@ class Session:
             )
             if progress is not None:
                 progress(index + 1, len(entries), final_label)
+        obs_export.flush()
         if stream:
             # an empty spec list skips the spool but must keep the
             # documented (label, RunResult) iterator shape
@@ -1439,34 +1453,46 @@ class Session:
     ) -> BatchResult | Iterator[tuple[str, RunResult]]:
         from repro.runtime.plan import plan_run_many
 
-        cache = self._parallel_artifact_cache()
-        self._prepare_parallel_cache(cache, [spec for _, spec, _, _ in entries])
-        payload = self._execution_payload(cache, vectorize)
-        sampler = payload.system.timing.scenario_sampler
-        track = supports_replay(sampler)
-        batches = None
-        if self._effective_transport(scenario_transport, config, default="redraw") == "value":
-            # ship-by-value: draw every unit's slice here, in entry order —
-            # exactly the serial draw order, so the parent sampler ends where
-            # a serial run would and the units carry their tensors
-            exec_system = self._execution_system()
-            batches = [
-                exec_system.draw_scenarios(n_cycles, np.random.default_rng(seed))
-                for _, _, n_cycles, seed in entries
-            ]
-        plan = plan_run_many(payload, entries, track_sampler=track, scenarios=batches)
-        executor = self._executor_for(config)
-        if stream:
-            return self._stream_plan(
-                plan, executor, progress, seed_from_unit=True, advance_draws=track
-            )
-        def advance() -> None:
-            if track and plan.total_draws:
-                # leave the shared scenario stream exactly where a serial
-                # run would
-                sampler.seek(sampler.cursor + plan.total_draws)
+        with obs_trace.span("session.run_many", units=len(entries)):
+            with obs_trace.span("session.plan"):
+                cache = self._parallel_artifact_cache()
+                self._prepare_parallel_cache(cache, [spec for _, spec, _, _ in entries])
+                payload = self._execution_payload(cache, vectorize)
+                sampler = payload.system.timing.scenario_sampler
+                track = supports_replay(sampler)
+                batches = None
+                if (
+                    self._effective_transport(scenario_transport, config, default="redraw")
+                    == "value"
+                ):
+                    # ship-by-value: draw every unit's slice here, in entry
+                    # order — exactly the serial draw order, so the parent
+                    # sampler ends where a serial run would and the units
+                    # carry their tensors
+                    exec_system = self._execution_system()
+                    batches = [
+                        exec_system.draw_scenarios(n_cycles, np.random.default_rng(seed))
+                        for _, _, n_cycles, seed in entries
+                    ]
+                plan = plan_run_many(
+                    payload, entries, track_sampler=track, scenarios=batches
+                )
+            executor = self._executor_for(config)
+            if stream:
+                # the generator outlives this frame, so worker spans become
+                # their own trace roots on the streaming path
+                return self._stream_plan(
+                    plan, executor, progress, seed_from_unit=True, advance_draws=track
+                )
+            def advance() -> None:
+                if track and plan.total_draws:
+                    # leave the shared scenario stream exactly where a serial
+                    # run would
+                    sampler.seek(sampler.cursor + plan.total_draws)
 
-        outcome = self._run_plan_advancing(executor, plan, progress, advance)
+            with obs_trace.span("session.fan_in"):
+                outcome = self._run_plan_advancing(executor, plan, progress, advance)
+        obs_export.flush()
         deadlines = self.resolved_deadlines()
         machine_name = self._machine.name if self._machine is not None else None
         runs: dict[str, RunResult] = {}
@@ -1494,14 +1520,18 @@ class Session:
         """Ship-by-value compare: every unit carries the pre-drawn batch tensor."""
         from repro.runtime.plan import plan_compare
 
-        cache = self._parallel_artifact_cache()
-        self._prepare_parallel_cache(cache, list(chosen))
-        payload = self._execution_payload(cache, vectorize)
-        plan = plan_compare(payload, list(chosen), scenarios)
-        executor = self._executor_for(config)
-        if stream:
-            return self._stream_plan(plan, executor, progress, fixed_seed=used_seed)
-        outcome = executor.run(plan, progress=self._adapt_progress(progress))
+        with obs_trace.span("session.compare", managers=len(chosen), transport="value"):
+            with obs_trace.span("session.plan"):
+                cache = self._parallel_artifact_cache()
+                self._prepare_parallel_cache(cache, list(chosen))
+                payload = self._execution_payload(cache, vectorize)
+                plan = plan_compare(payload, list(chosen), scenarios)
+            executor = self._executor_for(config)
+            if stream:
+                return self._stream_plan(plan, executor, progress, fixed_seed=used_seed)
+            with obs_trace.span("session.fan_in"):
+                outcome = executor.run(plan, progress=self._adapt_progress(progress))
+        obs_export.flush()
         return self._collect_compare_runs(plan, outcome, used_seed)
 
     def _compare_parallel_redraw(
@@ -1524,21 +1554,25 @@ class Session:
         """
         from repro.runtime.plan import plan_compare_redraw
 
-        cache = self._parallel_artifact_cache()
-        self._prepare_parallel_cache(cache, list(chosen))
-        payload = self._execution_payload(cache, vectorize)
-        plan = plan_compare_redraw(payload, list(chosen), n_cycles, used_seed)
-        executor = self._executor_for(config)
-        if stream:
-            return self._stream_plan(
-                plan, executor, progress, fixed_seed=used_seed, advance_cycles=n_cycles
-            )
-        def advance() -> None:
-            sampler = payload.system.timing.scenario_sampler
-            if supports_replay(sampler):
-                sampler.seek(sampler.cursor + n_cycles)
+        with obs_trace.span("session.compare", managers=len(chosen), transport="redraw"):
+            with obs_trace.span("session.plan"):
+                cache = self._parallel_artifact_cache()
+                self._prepare_parallel_cache(cache, list(chosen))
+                payload = self._execution_payload(cache, vectorize)
+                plan = plan_compare_redraw(payload, list(chosen), n_cycles, used_seed)
+            executor = self._executor_for(config)
+            if stream:
+                return self._stream_plan(
+                    plan, executor, progress, fixed_seed=used_seed, advance_cycles=n_cycles
+                )
+            def advance() -> None:
+                sampler = payload.system.timing.scenario_sampler
+                if supports_replay(sampler):
+                    sampler.seek(sampler.cursor + n_cycles)
 
-        outcome = self._run_plan_advancing(executor, plan, progress, advance)
+            with obs_trace.span("session.fan_in"):
+                outcome = self._run_plan_advancing(executor, plan, progress, advance)
+        obs_export.flush()
         return self._collect_compare_runs(plan, outcome, used_seed)
 
     def _stream_plan(

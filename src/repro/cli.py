@@ -19,9 +19,14 @@ code; every command is driven through the :mod:`repro.api` facade:
 * ``service`` — run or inspect the always-on sweep service on a spool:
   ``start`` (resident workers + queue dispatcher), ``status``, ``drain``;
 * ``experiments`` — run the full experiment suite (all tables and figures);
-* ``diagram`` — print the speed diagram of one controlled cycle.
+* ``diagram`` — print the speed diagram of one controlled cycle;
+* ``obs`` — render the telemetry a ``REPRO_OBS=1`` run exported (merged
+  metrics plus trace trees; see ``docs/observability.md``).
 
-Every subcommand's ``--help`` epilog states its defaults explicitly.
+The top-level ``--log-level`` flag (or the ``REPRO_LOG`` environment
+variable) sets the ``repro`` logging level for the process and every
+worker it spawns.  Every subcommand's ``--help`` epilog states its
+defaults explicitly.
 """
 
 from __future__ import annotations
@@ -36,9 +41,20 @@ _DEFAULT_COMPARE = "numeric,region,relaxation"
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed separately for testing)."""
+    from repro.obs.logconfig import LEVELS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Speed diagrams and symbolic quality management (IPPS 2007 reproduction)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LEVELS,
+        default=None,
+        help=(
+            "logging level for the 'repro' loggers, inherited by spawned "
+            "workers (default: $REPRO_LOG, else warning)"
+        ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -301,11 +317,21 @@ def build_parser() -> argparse.ArgumentParser:
         "status",
         help="print queue depths, in-flight counts and resident workers",
         epilog=(
-            "Defaults: none beyond --spool; purely observational (nothing is "
-            "dispatched or modified)."
+            "Defaults: --metrics off; workers whose heartbeat is older than "
+            "the default 30s lease timeout are reported stale rather than "
+            "alive, and long-dead presence files are aged out.  Nothing is "
+            "dispatched."
         ),
     )
     service_status.add_argument("--spool", required=True, help="the shared spool directory")
+    service_status.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "include per-tenant queue wait ages and each resident worker's "
+            "published counters (warm hits, hydrations, executed units)"
+        ),
+    )
 
     service_drain = service_commands.add_parser(
         "drain",
@@ -394,6 +420,30 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="Defaults: --seed 0 on the QCIF workload with the relaxation manager.",
     )
     diagram.add_argument("--seed", type=int, default=0, help="random seed")
+
+    obs = commands.add_parser(
+        "obs",
+        help="inspect telemetry exported by REPRO_OBS=1 runs",
+        epilog=(
+            "Defaults shared by the subcommands: none — telemetry is read "
+            "from the directory argument; see docs/observability.md."
+        ),
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_commands.add_parser(
+        "report",
+        help="merge a telemetry directory and print metrics + trace trees",
+        epilog=(
+            "Defaults: the human-readable renderer (--json emits the merged "
+            "report as one JSON document instead).  Reads every *.jsonl file "
+            "in DIR, keeps each process's latest cumulative metrics snapshot, "
+            "and assembles the span records into per-trace trees."
+        ),
+    )
+    obs_report.add_argument("dir", help="telemetry directory (the run's REPRO_OBS_DIR)")
+    obs_report.add_argument(
+        "--json", action="store_true", help="emit the merged report as JSON"
+    )
     return parser
 
 
@@ -629,7 +679,10 @@ def _run_service(arguments) -> int:
         if arguments.service_command == "status":
             from repro.service.daemon import format_status, service_status
 
-            print(format_status(service_status(arguments.spool)))
+            status = service_status(
+                arguments.spool, include_metrics=arguments.metrics
+            )
+            print(format_status(status))
             return 0
         if arguments.service_command == "drain":
             from repro.service.daemon import service_drain
@@ -678,6 +731,28 @@ def _run_experiments(
     return 0
 
 
+def _run_obs(arguments) -> int:
+    import json
+
+    from repro.obs.export import build_report, read_events, render_report
+
+    if arguments.obs_command == "report":
+        try:
+            events = read_events(arguments.dir)
+        except OSError as error:
+            print(f"error: {error}")
+            return 2
+        report = build_report(events)
+        if arguments.json:
+            print(json.dumps(report, sort_keys=True, default=str))
+        else:
+            print(render_report(report))
+        return 0
+    raise AssertionError(
+        f"unhandled obs command {arguments.obs_command!r}"
+    )  # pragma: no cover
+
+
 def _run_diagram(seed: int) -> int:
     from repro.analysis import render_speed_diagram
     from repro.api import Session
@@ -695,7 +770,14 @@ def _run_diagram(seed: int) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
-    arguments = build_parser().parse_args(argv)
+    from repro.obs.logconfig import configure_logging
+
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        configure_logging(arguments.log_level)
+    except ValueError as error:  # a bad $REPRO_LOG value (the flag is validated)
+        parser.error(str(error))
     if arguments.command == "info":
         return _run_info()
     if arguments.command == "managers":
@@ -746,4 +828,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     if arguments.command == "diagram":
         return _run_diagram(arguments.seed)
+    if arguments.command == "obs":
+        return _run_obs(arguments)
     raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover

@@ -47,6 +47,9 @@ from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro.obs.metrics import registry as _obs_registry
+from repro.obs.state import enabled as _obs_enabled
+
 from .controller import OverheadModelProtocol, run_cycle
 from .manager import ManagerWork, QualityManager
 from .regions import RegionQualityManager
@@ -569,6 +572,11 @@ def run_cycles_batch(
                     "system's quality set"
                 )
             kernel = None  # the scalar loop handles foreign quality sets
+    if _obs_enabled():
+        mode_label = "vectorized" if kernel is not None else "scalar"
+        registry = _obs_registry()
+        registry.inc(f"engine.batches.{mode_label}.{type(manager).__name__}")
+        registry.inc(f"engine.cycles.{mode_label}", len(scenarios))
     if kernel is not None:
         return run_cycles_vectorized(
             system, manager, scenarios, overhead_model=overhead_model, kernel=kernel

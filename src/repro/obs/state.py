@@ -1,0 +1,41 @@
+"""Process-wide on/off switch for the telemetry layer.
+
+Kept in its own tiny module so the hot seams (engine batches, pool
+chunks, spool claims) can guard with ``if enabled():`` — a cached dict
+lookup — without importing the metrics or tracing machinery eagerly.
+The switch is read once from the ``REPRO_OBS`` environment variable and
+cached; :func:`enable` overrides it programmatically and
+:func:`reset_enabled` drops the cache so the next check re-reads the
+environment (used by tests and by freshly spawned workers, which simply
+inherit the parent's environment).
+"""
+
+from __future__ import annotations
+
+import os
+
+ENV_ENABLED = "REPRO_OBS"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+_STATE: dict[str, bool | None] = {"enabled": None}
+
+
+def enabled() -> bool:
+    """True when telemetry is on (``REPRO_OBS`` truthy or :func:`enable`)."""
+    value = _STATE["enabled"]
+    if value is None:
+        raw = os.environ.get(ENV_ENABLED, "")
+        value = raw.strip().lower() in _TRUTHY
+        _STATE["enabled"] = value
+    return value
+
+
+def enable(on: bool = True) -> None:
+    """Force telemetry on (or off with ``enable(False)``) for this process."""
+    _STATE["enabled"] = bool(on)
+
+
+def reset_enabled() -> None:
+    """Drop the cached switch; the next :func:`enabled` re-reads the env."""
+    _STATE["enabled"] = None

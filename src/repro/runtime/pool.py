@@ -35,6 +35,10 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.api.registry import BuildContext, build_manager
+from repro.obs import export as obs_export
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import registry as obs_registry
+from repro.obs.state import enabled as obs_enabled
 from repro.core.compiler import CompiledControllers, QualityManagerCompiler
 from repro.core.engine import run_cycles_batch
 from repro.core.system import CycleOutcome
@@ -69,6 +73,21 @@ class UnitFailure:
     def __str__(self) -> str:  # pragma: no cover - message formatting
         return f"unit {self.index} ({self.label!r}): {self.error}"
 
+    @property
+    def traceback_summary(self) -> str:
+        """The tail of the captured traceback: raising frame + exception line.
+
+        Empty for synthetic failures (e.g. lease expiry) that carry no
+        traceback.
+        """
+        lines = [line.strip() for line in self.traceback.splitlines() if line.strip()]
+        return " | ".join(lines[-3:])
+
+    def describe(self) -> str:
+        """``__str__`` plus the traceback summary, for fan-in error messages."""
+        summary = self.traceback_summary
+        return f"{self} [{summary}]" if summary else str(self)
+
 
 class SweepExecutionError(RuntimeError):
     """Raised when sweep units failed and ``on_error="raise"`` (the default)."""
@@ -76,7 +95,7 @@ class SweepExecutionError(RuntimeError):
     def __init__(self, failures: Sequence[UnitFailure], message: str | None = None) -> None:
         self.failures = tuple(failures)
         if message is None:
-            detail = "; ".join(str(failure) for failure in self.failures[:3])
+            detail = "; ".join(failure.describe() for failure in self.failures[:3])
             more = len(self.failures) - 3
             if more > 0:
                 detail += f"; ... and {more} more"
@@ -222,23 +241,38 @@ class _WorkerRuntime:
 
 
 _RUNTIME: _WorkerRuntime | None = None
+_TRACE: tuple[str, str] | None = None
 
 
-def _init_worker(payload: ExecutionPayload) -> None:
-    global _RUNTIME
+def _init_worker(
+    payload: ExecutionPayload, trace_ids: tuple[str, str] | None = None
+) -> None:
+    global _RUNTIME, _TRACE
     _RUNTIME = _WorkerRuntime(payload)
+    _TRACE = trace_ids
+
+
+def _execute_record(runtime: _WorkerRuntime, unit: SweepUnit) -> tuple:
+    """Run one unit under a span and return its result/failure record."""
+    try:
+        with obs_trace.span("pool.unit", label=unit.label, index=unit.index):
+            name, outcomes = runtime.execute(unit)
+    except Exception as error:  # noqa: BLE001 - captured and reported
+        if obs_enabled():
+            obs_registry().inc("pool.units.failed")
+        return (unit.index, False, repr(error), traceback.format_exc())
+    if obs_enabled():
+        obs_registry().inc("pool.units.ok")
+    return (unit.index, True, name, outcomes)
 
 
 def _run_chunk(units: tuple[SweepUnit, ...]) -> list[tuple]:
     """Execute a chunk in the worker; exceptions become per-unit records."""
     assert _RUNTIME is not None, "worker used before initialisation"
-    records: list[tuple] = []
-    for unit in units:
-        try:
-            name, outcomes = _RUNTIME.execute(unit)
-            records.append((unit.index, True, name, outcomes))
-        except Exception as error:  # noqa: BLE001 - captured and reported
-            records.append((unit.index, False, repr(error), traceback.format_exc()))
+    # adopt the parent's trace context so unit spans join the sweep's tree
+    with obs_trace.attach_ids(_TRACE):
+        records = [_execute_record(_RUNTIME, unit) for unit in units]
+    obs_export.flush()
     return records
 
 
@@ -340,6 +374,7 @@ class SweepExecutor:
             records = self._run_inline(plan, payload_bytes, progress)
         else:
             records = self._run_pool(plan, progress)
+        obs_export.flush()
         return collect_outcome(plan, records, on_error=on_error)
 
     @staticmethod
@@ -367,11 +402,7 @@ class SweepExecutor:
         runtime = _WorkerRuntime(pickle.loads(payload_bytes))
         records: list[tuple] = []
         for done, unit in enumerate(plan.units, start=1):
-            try:
-                name, outcomes = runtime.execute(unit)
-                records.append((unit.index, True, name, outcomes))
-            except Exception as error:  # noqa: BLE001 - captured and reported
-                records.append((unit.index, False, repr(error), traceback.format_exc()))
+            records.append(_execute_record(runtime, unit))
             if progress is not None:
                 progress(done, len(plan.units), unit)
         return records
@@ -395,7 +426,7 @@ class SweepExecutor:
                 max_workers=workers,
                 mp_context=context,
                 initializer=_init_worker,
-                initargs=(plan.payload,),
+                initargs=(plan.payload, obs_trace.propagation()),
             ) as pool:
                 futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
                 done = 0

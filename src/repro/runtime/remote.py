@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import logging
 import os
 import pickle
 import random
@@ -61,6 +62,12 @@ import traceback
 import uuid
 from pathlib import Path
 from typing import Callable, Iterator, Sequence
+
+from repro.obs import export as obs_export
+from repro.obs import trace as obs_trace
+from repro.obs.logconfig import current_level
+from repro.obs.metrics import registry as obs_registry
+from repro.obs.state import enabled as obs_enabled
 
 from .artifacts import CompiledArtifactCache, compile_key, default_cache_dir
 from .plan import ExecutionPayload, SweepPlan, SweepUnit
@@ -91,6 +98,8 @@ DEFAULT_POLL_INTERVAL = 0.2
 DEFAULT_HEARTBEAT_SECONDS = 2.0
 #: how many times a unit is requeued after lease expiry before it fails
 DEFAULT_MAX_REQUEUES = 2
+
+logger = logging.getLogger("repro.runtime.remote")
 
 _UNIT_SUFFIX = ".unit"
 _PLAN_SUFFIX = ".plan"
@@ -358,6 +367,8 @@ class SpoolWorker:
                 os.rename(candidate, target)
             except OSError:  # someone else won the race
                 continue
+            if obs_enabled():
+                obs_registry().inc("spool.claims")
             # rename preserves mtime, so start the lease clock *now* — the
             # pending file may be older than the lease timeout already
             try:
@@ -514,13 +525,31 @@ class SpoolWorker:
         return True
 
     def _run_unit(self, plan_id: str, meta: dict, unit: SweepUnit) -> tuple:
-        """Execute one unit; exceptions become per-unit failure records."""
+        """Execute one unit; exceptions become per-unit failure records.
+
+        Under telemetry, the unit runs inside a span attached to the trace
+        context the parent serialised into the plan meta, so worker spans
+        join the submitting sweep's trace tree; the span buffer and metrics
+        snapshot are flushed to ``REPRO_OBS_DIR`` after every unit.
+        """
         try:
-            runtime = self._runtime_for(plan_id, meta)
-            name, outcomes = runtime.execute(unit)
-            return (unit.index, True, name, outcomes)
+            with obs_trace.attach_ids(meta.get("trace")):
+                with obs_trace.span(
+                    "spool.unit", label=unit.label, index=unit.index, worker=self.worker_id
+                ):
+                    with obs_trace.span("spool.hydrate", plan=plan_id):
+                        runtime = self._runtime_for(plan_id, meta)
+                    name, outcomes = runtime.execute(unit)
+            record = (unit.index, True, name, outcomes)
+            if obs_enabled():
+                obs_registry().inc("spool.units.ok")
         except Exception as error:  # noqa: BLE001 - captured and reported
-            return (unit.index, False, repr(error), traceback.format_exc())
+            logger.debug("unit %d of plan %s failed: %r", unit.index, plan_id, error)
+            record = (unit.index, False, repr(error), traceback.format_exc())
+            if obs_enabled():
+                obs_registry().inc("spool.units.failed")
+        obs_export.flush()
+        return record
 
     def run(
         self,
@@ -733,6 +762,13 @@ class RemoteSweepExecutor:
             "worker_cache": self._sync_artifacts,
             "n_units": len(plan.units),
         }
+        if obs_enabled():
+            # the parent's active span, if any: workers attach their unit
+            # spans to it so one sweep yields one trace tree across hosts
+            trace_ids = obs_trace.propagation()
+            if trace_ids is not None:
+                meta["trace"] = trace_ids
+            obs_registry().inc("spool.plans_submitted")
         try:
             _atomic_write_bytes(self.spool.plan_path(plan_id), pickle.dumps(meta))
             self._write_units(plan, plan_id)
@@ -869,9 +905,9 @@ class RemoteSweepExecutor:
         """
         if on_error not in ("raise", "capture"):
             raise ValueError(f"on_error must be 'raise' or 'capture', got {on_error!r}")
-        return collect_outcome(
-            plan, list(self.stream(plan, progress=progress)), on_error=on_error
-        )
+        records = list(self.stream(plan, progress=progress))
+        obs_export.flush()
+        return collect_outcome(plan, records, on_error=on_error)
 
     # ------------------------------------------------------------------ #
     # fan-in internals
@@ -916,6 +952,8 @@ class RemoteSweepExecutor:
             except OSError:  # transient (NFS ESTALE): cleanup sweeps it later
                 pass
             records.append(record)
+        if records and obs_enabled():
+            obs_registry().inc("spool.results_drained", len(records))
         return records
 
     def _requeue_expired(self, plan_id: str, outstanding: set[int]) -> list[tuple]:
@@ -954,6 +992,12 @@ class RemoteSweepExecutor:
                 except OSError:  # transient: the failure still stands
                     pass
                 outstanding.discard(index)
+                logger.warning(
+                    "unit %d of plan %s failed after %d expired lease(s)",
+                    index, plan_id, attempt + 1,
+                )
+                if obs_enabled():
+                    obs_registry().inc("spool.lease_failures")
                 failures.append(
                     (
                         index,
@@ -970,6 +1014,12 @@ class RemoteSweepExecutor:
                 os.rename(claim, target)
             except OSError:  # the worker finished or died mid-scan; next pass
                 continue
+            logger.info(
+                "requeued unit %d of plan %s (attempt %d, lease age %.1fs)",
+                index, plan_id, attempt + 1, age,
+            )
+            if obs_enabled():
+                obs_registry().inc("spool.requeues")
         return failures
 
     def _requeue_target(self, plan_id: str, index: int, attempt: int) -> Path:
@@ -1095,6 +1145,10 @@ class RemoteSweepExecutor:
             sys.executable,
             "-m",
             "repro",
+            # workers inherit the parent's logging story (satellite of the
+            # --log-level / REPRO_LOG wiring); REPRO_OBS* flows via env
+            "--log-level",
+            current_level(),
             "worker",
             "--spool",
             str(self.spool.root),

@@ -25,6 +25,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.obs.logconfig import current_level
 from repro.runtime.remote import (
     DEFAULT_HEARTBEAT_SECONDS,
     DEFAULT_POLL_INTERVAL,
@@ -58,6 +59,9 @@ def _spawn_resident_worker(
         sys.executable,
         "-m",
         "repro",
+        # the fleet inherits the daemon's logging level; REPRO_OBS* via env
+        "--log-level",
+        current_level(),
         "worker",
         "--spool",
         str(layout.root),
@@ -257,16 +261,34 @@ def format_status(status: dict[str, Any]) -> str:
             flight = ", ".join(
                 f"{tenant}={count}" for tenant, count in sorted(in_flight.items())
             )
+            waits = ", ".join(
+                f"{tenant}={age:.1f}s"
+                for tenant, age in sorted(info.get("wait_age_by_tenant", {}).items())
+            )
             lines.append(
                 f"queue      {name}: {info['depth']} queued"
                 + (f" ({detail})" if detail else "")
                 + (f"; in-flight {flight}" if flight else "")
+                + (f"; waiting {waits}" if waits else "")
             )
     else:
         lines.append("queue      (none)")
     if status["workers"]:
-        for worker_id, age in sorted(status["workers"].items()):
-            lines.append(f"worker     {worker_id} (seen {age:.1f}s ago)")
+        for worker_id, info in sorted(status["workers"].items()):
+            line = (
+                f"worker     {worker_id} ({info['state']}, "
+                f"seen {info['age_seconds']:.1f}s ago)"
+            )
+            metrics = info.get("metrics", {})
+            if metrics:
+                detail = " ".join(
+                    f"{key}={metrics[key]}"
+                    for key in ("executed", "warm_hits", "hydrations", "resident")
+                    if key in metrics
+                )
+                if detail:
+                    line += f" {detail}"
+            lines.append(line)
     else:
         lines.append("worker     (none resident)")
     return "\n".join(lines)

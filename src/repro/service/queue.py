@@ -32,6 +32,7 @@ overshoot a quota by at most the number of extra dispatchers.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import re
@@ -42,8 +43,11 @@ from itertools import groupby
 from pathlib import Path
 from typing import Any
 
+from repro.obs.metrics import registry as obs_registry
+from repro.obs.state import enabled as obs_enabled
 from repro.runtime.plan import SweepPlan
 from repro.runtime.remote import (
+    DEFAULT_LEASE_TIMEOUT,
     RemoteSweepExecutor,
     SpoolLayout,
     _atomic_write_bytes,
@@ -350,6 +354,10 @@ class ServiceQueue:
                         return dispatched
                 if per_tenant[tenant]:
                     rotation.append(tenant)
+        if obs_enabled() and (dispatched or blocked):
+            registry = obs_registry()
+            registry.inc("queue.dispatched", dispatched)
+            registry.inc("queue.quota_blocked_tenants", len(blocked))
         return dispatched
 
     def withdraw(self, plan_id: str) -> int:
@@ -370,15 +378,36 @@ class ServiceQueue:
         return removed
 
 
-def service_status(spool: str | os.PathLike) -> dict[str, Any]:
+#: presence files older than this many lease timeouts are deleted outright
+_PRESENCE_GC_FACTOR = 10.0
+
+
+def service_status(
+    spool: str | os.PathLike,
+    *,
+    include_metrics: bool = False,
+    stale_after: float = DEFAULT_LEASE_TIMEOUT,
+) -> dict[str, Any]:
     """A point-in-time snapshot of one service spool, as a plain dict.
 
     Reports per-queue depth (split by tenant and priority), live in-flight
     counts per queue and tenant, the raw spool directory counts, and the
-    resident workers whose presence files are fresh (age in seconds).
-    Purely observational: nothing is dispatched, GC'd, or modified.
+    resident workers: each as ``{"age_seconds", "state"}`` where the state
+    is ``"alive"`` while the presence heartbeat is within ``stale_after``
+    seconds and ``"stale"`` once it is older (a SIGKILLed worker never
+    removes its file).  Presence files older than ``stale_after`` ×
+    ``_PRESENCE_GC_FACTOR`` are aged out (deleted) so dead workers are not
+    listed forever — the only mutation this function performs.
+
+    ``include_metrics=True`` additionally reads each worker's presence
+    payload (resident workers publish ``warm_hits``/``hydrations``/
+    ``executed`` there) under ``"metrics"``, and per-queue per-tenant
+    wait ages (seconds since the oldest undispatched entry was enqueued)
+    under ``"wait_age_by_tenant"`` — the data behind
+    ``repro service status --metrics``.
     """
     layout = ServiceSpoolLayout(spool).ensure()
+    now_ns = time.time_ns()
     queues: dict[str, Any] = {}
     try:
         queue_dirs = sorted(child for child in layout.queues.iterdir() if child.is_dir())
@@ -387,6 +416,7 @@ def service_status(spool: str | os.PathLike) -> dict[str, Any]:
     for queue_dir in queue_dirs:
         by_tenant: dict[str, int] = {}
         by_priority: dict[int, int] = {}
+        wait_age: dict[str, float] = {}
         depth = 0
         try:
             paths = list(queue_dir.iterdir())
@@ -399,11 +429,17 @@ def service_status(spool: str | os.PathLike) -> dict[str, Any]:
             depth += 1
             by_tenant[entry.tenant] = by_tenant.get(entry.tenant, 0) + 1
             by_priority[entry.priority] = by_priority.get(entry.priority, 0) + 1
+            if include_metrics:
+                # entry seq numbers are enqueue-time time_ns stamps
+                age = max(0.0, (now_ns - entry.seq) / 1e9)
+                wait_age[entry.tenant] = max(wait_age.get(entry.tenant, 0.0), age)
         queues[queue_dir.name] = {
             "depth": depth,
             "by_tenant": by_tenant,
             "by_priority": by_priority,
         }
+        if include_metrics:
+            queues[queue_dir.name]["wait_age_by_tenant"] = wait_age
     in_flight: dict[str, dict[str, int]] = {}
     try:
         ledgers = list(layout.inflight.iterdir())
@@ -421,7 +457,7 @@ def service_status(spool: str | os.PathLike) -> dict[str, Any]:
             return sum(1 for path in directory.iterdir() if not path.name.startswith("."))
         except FileNotFoundError:
             return 0
-    workers: dict[str, float] = {}
+    workers: dict[str, dict[str, Any]] = {}
     now = time.time()
     try:
         presence = list(layout.workers.iterdir())
@@ -429,9 +465,24 @@ def service_status(spool: str | os.PathLike) -> dict[str, Any]:
         presence = []
     for path in presence:
         try:
-            workers[path.name] = max(0.0, now - path.stat().st_mtime)
+            age = max(0.0, now - path.stat().st_mtime)
         except OSError:
             continue
+        if age > stale_after * _PRESENCE_GC_FACTOR:
+            path.unlink(missing_ok=True)
+            continue
+        record: dict[str, Any] = {
+            "age_seconds": age,
+            "state": "stale" if age > stale_after else "alive",
+        }
+        if include_metrics:
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                payload = {}
+            if isinstance(payload, dict) and payload:
+                record["metrics"] = payload
+        workers[path.name] = record
     return {
         "root": str(layout.root),
         "queues": queues,

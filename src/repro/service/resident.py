@@ -28,11 +28,14 @@ and install the same graceful-SIGTERM handling as the base worker.
 
 from __future__ import annotations
 
+import json
 import os
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.obs.metrics import registry as obs_registry
+from repro.obs.state import enabled as obs_enabled
 from repro.runtime.pool import _WorkerRuntime
 from repro.runtime.remote import (
     DEFAULT_HEARTBEAT_SECONDS,
@@ -89,9 +92,13 @@ class ResidentWorker(SpoolWorker):
             self._resident.move_to_end(resident_key)
             self._runtimes[plan_id] = runtime
             self.warm_hits += 1
+            if obs_enabled():
+                obs_registry().inc("service.warm_hits")
             return runtime
         runtime = super()._runtime_for(plan_id, meta)  # hydrates + caches per plan
         self.hydrations += 1
+        if obs_enabled():
+            obs_registry().inc("service.hydrations")
         self._resident[resident_key] = runtime
         while len(self._resident) > self._max_resident:
             self._resident.popitem(last=False)
@@ -105,8 +112,21 @@ class ResidentWorker(SpoolWorker):
         return self.spool.workers / self.worker_id
 
     def _touch_presence(self) -> None:
+        # the presence file doubles as the worker's metrics publication:
+        # `repro service status --metrics` reads this JSON, and the write
+        # refreshes the heartbeat mtime exactly like a bare touch() did
+        payload = json.dumps(
+            {
+                "pid": os.getpid(),
+                "warm_hits": self.warm_hits,
+                "hydrations": self.hydrations,
+                "executed": self.executed,
+                "max_resident": self._max_resident,
+                "resident": len(self._resident),
+            }
+        )
         try:
-            self._presence_path.touch()
+            self._presence_path.write_text(payload, encoding="utf-8")
         except OSError:  # transient (NFS hiccup): next scan retries
             pass
 

@@ -45,6 +45,7 @@ def test_documentation_suite_exists():
         "scenario-pipeline.md",
         "distributed-sweeps.md",
         "service.md",
+        "observability.md",
         "reproduction.md",
     } <= names
 
@@ -87,6 +88,7 @@ def test_readme_links_the_docs_suite():
         "docs/scenario-pipeline.md",
         "docs/distributed-sweeps.md",
         "docs/service.md",
+        "docs/observability.md",
         "docs/reproduction.md",
     ):
         assert name in markdown, f"README does not cross-link {name}"
@@ -110,7 +112,7 @@ def _subcommands() -> dict:
 def test_every_subcommand_epilog_states_defaults():
     subparsers_choices = _subcommands()
     assert {"info", "managers", "run", "compare", "sweep", "worker",
-            "experiments", "diagram", "service"} <= set(subparsers_choices)
+            "experiments", "diagram", "service", "obs"} <= set(subparsers_choices)
     for name, sub in subparsers_choices.items():
         assert sub.epilog, f"'repro {name}' has no --help epilog"
         assert "default" in sub.epilog.lower(), (
@@ -131,6 +133,22 @@ def test_every_service_subcommand_epilog_states_defaults():
         assert sub.epilog, f"'repro service {name}' has no --help epilog"
         assert "default" in sub.epilog.lower(), (
             f"'repro service {name}' epilog does not state its defaults"
+        )
+
+
+def test_every_obs_subcommand_epilog_states_defaults():
+    """The nested `repro obs <cmd>` parsers are audited like top-level
+    subcommands: each --help epilog must state its defaults."""
+    obs = _subcommands()["obs"]
+    nested = next(
+        action for action in obs._actions
+        if isinstance(action, argparse._SubParsersAction)
+    ).choices
+    assert {"report"} == set(nested)
+    for name, sub in nested.items():
+        assert sub.epilog, f"'repro obs {name}' has no --help epilog"
+        assert "default" in sub.epilog.lower(), (
+            f"'repro obs {name}' epilog does not state its defaults"
         )
 
 

@@ -709,6 +709,70 @@ def test_service_status_reports_queues_inflight_and_workers(tmp_path):
         assert needle in rendered
 
 
+def test_service_status_flags_stale_workers_and_ages_out_dead_ones(tmp_path):
+    """A SIGKILLed worker never removes its presence file: once the
+    heartbeat mtime exceeds the lease timeout the worker reports 'stale',
+    and long-dead files are aged out instead of listed forever."""
+    spool = tmp_path / "spool"
+    layout = ServiceSpoolLayout(spool).ensure()
+    (layout.workers / "fresh").touch()
+    stale = layout.workers / "gone-stale"
+    stale.touch()
+    old = time.time() - 60.0  # past the default 30s lease timeout
+    os.utime(stale, (old, old))
+    ancient = layout.workers / "long-dead"
+    ancient.touch()
+    dead = time.time() - 3600.0  # past stale_after x the GC factor
+    os.utime(ancient, (dead, dead))
+
+    status = service_status(spool)
+    assert status["workers"]["fresh"]["state"] == "alive"
+    assert status["workers"]["gone-stale"]["state"] == "stale"
+    assert status["workers"]["gone-stale"]["age_seconds"] >= 30.0
+    assert "long-dead" not in status["workers"]
+    assert not ancient.exists()
+    rendered = format_status(status)
+    assert "stale" in rendered and "fresh (alive" in rendered
+
+
+def test_service_status_metrics_reads_worker_payloads_and_wait_ages(tmp_path):
+    import json
+
+    spool = tmp_path / "spool"
+    queue = ServiceQueue(spool, "fast")
+    _enqueue(queue, "aaa111", 0, tenant="alice")
+    (queue.layout.workers / "worker-1").write_text(
+        json.dumps({"pid": 1, "warm_hits": 3, "hydrations": 1, "executed": 9}),
+        encoding="utf-8",
+    )
+
+    plain = service_status(spool)
+    assert "metrics" not in plain["workers"]["worker-1"]
+    assert "wait_age_by_tenant" not in plain["queues"]["fast"]
+
+    status = service_status(spool, include_metrics=True)
+    assert status["workers"]["worker-1"]["metrics"]["warm_hits"] == 3
+    assert status["queues"]["fast"]["wait_age_by_tenant"]["alice"] >= 0.0
+    rendered = format_status(status)
+    assert "warm_hits=3" in rendered and "executed=9" in rendered
+
+
+def test_cli_service_status_metrics_flag(tmp_path, capsys):
+    import json
+
+    from repro.cli import main
+
+    spool = tmp_path / "spool"
+    layout = ServiceSpoolLayout(spool).ensure()
+    (layout.workers / "worker-9").write_text(
+        json.dumps({"executed": 4, "warm_hits": 2, "hydrations": 2}),
+        encoding="utf-8",
+    )
+    assert main(["service", "status", "--spool", str(spool), "--metrics"]) == 0
+    printed = capsys.readouterr().out
+    assert "worker-9" in printed and "executed=4" in printed
+
+
 def test_cli_service_status_and_drain(tmp_path, capsys):
     from repro.cli import main
 
