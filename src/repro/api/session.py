@@ -205,6 +205,7 @@ class Session:
         self._remote: dict[str, Any] | None = None
         self._service: dict[str, Any] | None = None
         self._vectorize: str = "auto"
+        self._backend: str | None = None
 
     # ------------------------------------------------------------------ #
     # fluent configuration (each setter validates eagerly, returns self)
@@ -426,6 +427,34 @@ class Session:
 
     def _effective_vectorize(self, override: Any) -> str:
         return self._vectorize if override is None else coerce_vectorize_mode(override)
+
+    def backend(self, name: str | None = None) -> "Session":
+        """Select the compute backend compiling the decision kernels.
+
+        ``"numpy"`` is the default; ``"numba"`` JIT-compiles the
+        comparison-bound kernel primitives when numba is installed (install
+        the ``numba`` extra).  ``None`` restores the default resolution
+        (``$REPRO_BACKEND``, else numpy).  Outcomes are bit-identical across
+        backends; naming an unknown or unavailable backend raises
+        immediately.  The per-call ``backend=`` keyword on the run methods
+        overrides this builder setting.
+        """
+        if name is not None:
+            from repro.core.backend import get_backend
+
+            get_backend(str(name))  # eager validation
+            self._backend = str(name)
+        else:
+            self._backend = None
+        return self
+
+    def _effective_backend(self, override: Any) -> str | None:
+        if override is None:
+            return self._backend
+        from repro.core.backend import get_backend
+
+        get_backend(str(override))
+        return str(override)
 
     def parallel(
         self,
@@ -797,11 +826,14 @@ class Session:
         seed: int | None = None,
         scenarios: ScenarioBatch | Sequence[ActualTimeScenario] | None = None,
         vectorize: Any = None,
+        backend: Any = None,
     ) -> RunResult:
         """Execute N cycles with the selected manager and collect the result.
 
         ``vectorize`` overrides the :meth:`vectorize` builder setting for
-        this run; results are bit-identical across engines for fixed seeds.
+        this run; ``backend`` overrides the :meth:`backend` builder setting
+        (kernel compute backend, e.g. ``"numpy"``).  Results are
+        bit-identical across engines and backends for fixed seeds.
         """
         n_cycles = self._default_cycles if cycles is None else int(cycles)
         used_seed = self._seed if seed is None else int(seed)
@@ -818,6 +850,7 @@ class Session:
                     rng=np.random.default_rng(used_seed),
                     overhead_model=self._resolve_overhead_model(),
                     vectorize=self._effective_vectorize(vectorize),
+                    backend=self._effective_backend(backend),
                 )
         obs_export.flush()
         return RunResult(
@@ -838,6 +871,7 @@ class Session:
         workers: int | None = None,
         progress: Any = None,
         vectorize: Any = None,
+        backend: Any = None,
         scenario_transport: str | None = None,
         stream: bool = False,
     ) -> BatchResult | Iterator[tuple[str, RunResult]]:
@@ -885,6 +919,7 @@ class Session:
         machine_name = self._machine.name if self._machine is not None else None
 
         mode = self._effective_vectorize(vectorize)
+        chosen_backend = self._effective_backend(backend)
         pool_config = self._pool_config(parallel, workers)
         self._check_stream(stream, pool_config)
         use_pool = pool_config is not None and n_cycles > 0
@@ -902,7 +937,14 @@ class Session:
             )
             if transport == "redraw" and self._redraw_supported():
                 return self._compare_parallel_redraw(
-                    chosen, n_cycles, used_seed, pool_config, progress, mode, stream
+                    chosen,
+                    n_cycles,
+                    used_seed,
+                    pool_config,
+                    progress,
+                    mode,
+                    stream,
+                    backend=chosen_backend,
                 )
         with obs_trace.span("session.draw", cycles=n_cycles):
             scenarios = system.draw_scenarios(
@@ -910,7 +952,14 @@ class Session:
             )
         if use_pool:
             return self._compare_parallel(
-                chosen, scenarios, used_seed, pool_config, progress, mode, stream
+                chosen,
+                scenarios,
+                used_seed,
+                pool_config,
+                progress,
+                mode,
+                stream,
+                backend=chosen_backend,
             )
 
         context = self.build_context()
@@ -925,6 +974,7 @@ class Session:
                     scenarios=scenarios,
                     overhead_model=overhead_model,
                     vectorize=mode,
+                    backend=chosen_backend,
                 )
             label = unique_label(runs, manager.name, index)
             runs[label] = RunResult(
@@ -954,6 +1004,7 @@ class Session:
         workers: int | None = None,
         progress: Any = None,
         vectorize: Any = None,
+        backend: Any = None,
         scenario_transport: str | None = None,
         stream: bool = False,
     ) -> BatchResult | Iterator[tuple[str, RunResult]]:
@@ -995,11 +1046,18 @@ class Session:
         self._check_transport(scenario_transport)
         entries = self._coerce_run_many_entries(scenarios)
         mode = self._effective_vectorize(vectorize)
+        chosen_backend = self._effective_backend(backend)
         pool_config = self._pool_config(parallel, workers)
         self._check_stream(stream, pool_config)
         if pool_config is not None and entries:
             return self._run_many_parallel(
-                entries, pool_config, progress, mode, scenario_transport, stream
+                entries,
+                pool_config,
+                progress,
+                mode,
+                scenario_transport,
+                stream,
+                backend=chosen_backend,
             )
 
         context = self.build_context()
@@ -1018,6 +1076,7 @@ class Session:
                     rng=np.random.default_rng(used_seed),
                     overhead_model=overhead_model,
                     vectorize=mode,
+                    backend=chosen_backend,
                 )
             final_label = unique_label(runs, label, index)
             runs[final_label] = RunResult(
@@ -1305,7 +1364,12 @@ class Session:
             except OSError:  # pragma: no cover - read-only cache location
                 pass
 
-    def _execution_payload(self, cache: Any, vectorize: str | None = None) -> Any:
+    def _execution_payload(
+        self,
+        cache: Any,
+        vectorize: str | None = None,
+        backend: str | None = None,
+    ) -> Any:
         from repro.runtime.plan import ExecutionPayload
 
         return ExecutionPayload(
@@ -1318,6 +1382,7 @@ class Session:
             overhead=self._overhead,
             cache_dir=str(cache.root) if cache is not None else None,
             vectorize=self._vectorize if vectorize is None else vectorize,
+            backend=self._backend if backend is None else backend,
         )
 
     def _executor_for(self, config: dict[str, Any]):
@@ -1450,6 +1515,7 @@ class Session:
         vectorize: str | None = None,
         scenario_transport: str | None = None,
         stream: bool = False,
+        backend: str | None = None,
     ) -> BatchResult | Iterator[tuple[str, RunResult]]:
         from repro.runtime.plan import plan_run_many
 
@@ -1457,7 +1523,7 @@ class Session:
             with obs_trace.span("session.plan"):
                 cache = self._parallel_artifact_cache()
                 self._prepare_parallel_cache(cache, [spec for _, spec, _, _ in entries])
-                payload = self._execution_payload(cache, vectorize)
+                payload = self._execution_payload(cache, vectorize, backend)
                 sampler = payload.system.timing.scenario_sampler
                 track = supports_replay(sampler)
                 batches = None
@@ -1516,6 +1582,7 @@ class Session:
         progress: Any,
         vectorize: str | None = None,
         stream: bool = False,
+        backend: str | None = None,
     ) -> BatchResult | Iterator[tuple[str, RunResult]]:
         """Ship-by-value compare: every unit carries the pre-drawn batch tensor."""
         from repro.runtime.plan import plan_compare
@@ -1524,7 +1591,7 @@ class Session:
             with obs_trace.span("session.plan"):
                 cache = self._parallel_artifact_cache()
                 self._prepare_parallel_cache(cache, list(chosen))
-                payload = self._execution_payload(cache, vectorize)
+                payload = self._execution_payload(cache, vectorize, backend)
                 plan = plan_compare(payload, list(chosen), scenarios)
             executor = self._executor_for(config)
             if stream:
@@ -1543,6 +1610,7 @@ class Session:
         progress: Any,
         vectorize: str | None = None,
         stream: bool = False,
+        backend: str | None = None,
     ) -> BatchResult | Iterator[tuple[str, RunResult]]:
         """Re-draw compare: units ship no scenario data, workers re-draw them.
 
@@ -1558,7 +1626,7 @@ class Session:
             with obs_trace.span("session.plan"):
                 cache = self._parallel_artifact_cache()
                 self._prepare_parallel_cache(cache, list(chosen))
-                payload = self._execution_payload(cache, vectorize)
+                payload = self._execution_payload(cache, vectorize, backend)
                 plan = plan_compare_redraw(payload, list(chosen), n_cycles, used_seed)
             executor = self._executor_for(config)
             if stream:

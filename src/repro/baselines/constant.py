@@ -78,6 +78,22 @@ class ConstantQualityManager(QualityManager):
         work = ManagerWork(kind=self.name, comparisons=0, table_lookups=1)
         return Decision(quality=self._level, steps=steps, work=work)
 
+    def lower(self):
+        """A ``constant`` kernel spec: fixed row, consultation cadence as data."""
+        from repro.core.kernelspec import KernelSpec
+
+        return KernelSpec(
+            op="constant",
+            kind=self.name,
+            n_levels=len(self._qualities),
+            tables={
+                "row": self._qualities.index_of(self._level),
+                "consult": self._consult,
+                "horizon": self._horizon,
+            },
+            work=ManagerWork(kind=self.name, comparisons=0, table_lookups=1),
+        )
+
     def memory_footprint(self) -> MemoryFootprint:
         """A single stored integer (the level itself)."""
         return MemoryFootprint(integers=1)

@@ -66,6 +66,21 @@ class ElasticQualityManager(QualityManager):
         work = ManagerWork(kind=self.name, comparisons=n_levels, table_lookups=n_levels)
         return Decision(quality=level, steps=1, work=work)
 
+    def lower(self):
+        """Interval lookup over the pre-computed ``t^E`` table.
+
+        ``t^E`` is non-increasing in the level whenever worst-case times are
+        non-decreasing (Definition 1); :func:`interval_spec` verifies that and
+        refuses to lower otherwise.
+        """
+        from repro.core.kernelspec import interval_spec
+
+        n_levels = len(self._qualities)
+        work = ManagerWork(
+            kind=self.name, comparisons=n_levels, table_lookups=n_levels
+        )
+        return interval_spec(self.name, self._table, work)
+
     def memory_footprint(self) -> MemoryFootprint:
         """One table entry per (state, level) pair."""
         return MemoryFootprint(integers=self._system.n_actions * len(self._qualities))

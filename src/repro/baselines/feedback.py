@@ -14,6 +14,8 @@ gains trade responsiveness against oscillation, with no worst-case argument.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.deadlines import DeadlineFunction
 from repro.core.manager import Decision, ManagerWork, MemoryFootprint, QualityManager
 from repro.core.system import ParameterizedSystem
@@ -100,6 +102,39 @@ class FeedbackQualityManager(QualityManager):
         level = self._qualities.clamp(int(round(self._reference - correction)))
         work = ManagerWork(kind=self.name, arithmetic_ops=12, comparisons=2, table_lookups=1)
         return Decision(quality=level, steps=1, work=work)
+
+    def lower(self):
+        """A ``feedback`` spec: the PID recurrence with the schedule as a table.
+
+        The reference schedule is evaluated per state with the exact scalar
+        calls; gains and clamp limits ride along as scalars.  ``np.rint``
+        reproduces Python's banker's rounding on float64, so the kernel's
+        level choice is bit-identical.
+        """
+        from repro.core.kernelspec import KernelSpec
+
+        n = self._system.n_actions
+        expected = np.array(
+            [self._expected_time(i) for i in range(n)], dtype=np.float64
+        )
+        return KernelSpec(
+            op="feedback",
+            kind=self.name,
+            n_levels=len(self._qualities),
+            tables={
+                "expected": expected,
+                "step_scale": self._step_scale,
+                "kp": self._kp,
+                "ki": self._ki,
+                "kd": self._kd,
+                "reference": self._reference,
+                "minimum": self._qualities.minimum,
+                "maximum": self._qualities.maximum,
+            },
+            work=ManagerWork(
+                kind=self.name, arithmetic_ops=12, comparisons=2, table_lookups=1
+            ),
+        )
 
     def memory_footprint(self) -> MemoryFootprint:
         """Stores the reference schedule prefix plus the controller state."""

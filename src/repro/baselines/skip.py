@@ -17,6 +17,8 @@ weakness the paper points out for skip-based overload handling.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.deadlines import DeadlineFunction
 from repro.core.manager import Decision, ManagerWork, MemoryFootprint, QualityManager
 from repro.core.system import ParameterizedSystem
@@ -101,6 +103,53 @@ class SkipQualityManager(QualityManager):
             self._skip_remaining = self._window - 1
             return Decision(quality=self._qualities.minimum, steps=1, work=work)
         return Decision(quality=self._nominal, steps=1, work=work)
+
+    def lower(self):
+        """A ``skip`` spec: the countdown recurrence over projected deadlines.
+
+        The per-state average-time projections are evaluated here with the
+        exact scalar calls, so the kernel compares the same floats the scalar
+        loop would; the work record shrinks with the number of remaining
+        deadlines, hence one record per state.
+        """
+        from repro.core.kernelspec import KernelSpec
+
+        n = self._system.n_actions
+        per_state = [tuple(self._deadlines.remaining(i)) for i in range(n)]
+        width = max((len(entries) for entries in per_state), default=0)
+        counts = np.zeros(n, dtype=np.int64)
+        costs = np.zeros((n, max(width, 1)), dtype=np.float64)
+        deadlines = np.zeros((n, max(width, 1)), dtype=np.float64)
+        work = []
+        for i, entries in enumerate(per_state):
+            counts[i] = len(entries)
+            for j, (action_index, deadline) in enumerate(entries):
+                costs[i, j] = self._system.average.total(
+                    i + 1, action_index, self._nominal
+                )
+                deadlines[i, j] = deadline
+            d = len(entries)
+            work.append(
+                ManagerWork(
+                    kind=self.name,
+                    arithmetic_ops=2 * d,
+                    comparisons=d + 1,
+                    table_lookups=d,
+                )
+            )
+        return KernelSpec(
+            op="skip",
+            kind=self.name,
+            n_levels=len(self._qualities),
+            tables={
+                "nominal_row": self._qualities.index_of(self._nominal),
+                "window": self._window,
+                "costs": costs,
+                "deadlines": deadlines,
+                "counts": counts,
+            },
+            work=tuple(work),
+        )
 
     def memory_footprint(self) -> MemoryFootprint:
         """Stores the per-level average prefix sums it projects with."""

@@ -67,7 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "managers",
         help="list the registered Quality Manager keys",
-        epilog="No options (and so no defaults); prints the live registry table.",
+        epilog=(
+            "No options (and so no defaults); prints the live registry table, "
+            "including which managers lower to vectorised kernels on the "
+            "active compute backend ($REPRO_BACKEND, else numpy)."
+        ),
     )
 
     run = commands.add_parser(
@@ -75,7 +79,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one manager and print its metrics",
         epilog=(
             "Defaults: --manager relaxation, --cycles 6, --seed 0, the paper's "
-            "CIF workload (use --small for QCIF) on the 'ipod' virtual machine."
+            "CIF workload (use --small for QCIF) on the 'ipod' virtual machine, "
+            "and the default kernel backend ($REPRO_BACKEND, else numpy)."
         ),
     )
     run.add_argument(
@@ -88,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--small", action="store_true", help="use the QCIF workload instead of the paper's CIF"
     )
+    run.add_argument(
+        "--backend",
+        default=None,
+        help="kernel compute backend, e.g. numpy or numba (default: $REPRO_BACKEND, else numpy)",
+    )
 
     compare = commands.add_parser(
         "compare",
@@ -95,7 +105,8 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             f"Defaults: --managers {_DEFAULT_COMPARE}, --frames 6, --seed 0, the "
             "paper's CIF workload (use --small for QCIF) on the 'ipod' virtual "
-            "machine; every manager sees identical scenarios."
+            "machine, and the default kernel backend ($REPRO_BACKEND, else "
+            "numpy); every manager sees identical scenarios."
         ),
     )
     compare.add_argument("--frames", type=int, default=6, help="number of frames to encode")
@@ -107,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--managers",
         default=_DEFAULT_COMPARE,
         help="comma-separated registry specs to compare (see 'managers')",
+    )
+    compare.add_argument(
+        "--backend",
+        default=None,
+        help="kernel compute backend, e.g. numpy or numba (default: $REPRO_BACKEND, else numpy)",
     )
 
     sweep = commands.add_parser(
@@ -189,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
             "overall wall-clock bound in seconds for a --spool run "
             "(default: wait forever; set it when no workers may be attached)"
         ),
+    )
+    sweep.add_argument(
+        "--backend",
+        default=None,
+        help="kernel compute backend, e.g. numpy or numba (default: $REPRO_BACKEND, else numpy)",
     )
 
     worker = commands.add_parser(
@@ -387,6 +408,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="cycle engine: vectorised NumPy kernels (auto/always) or the scalar loop",
     )
     experiments.add_argument(
+        "--backend",
+        default=None,
+        help="kernel compute backend, e.g. numpy or numba (default: $REPRO_BACKEND, else numpy)",
+    )
+    experiments.add_argument(
         "--scenario-transport",
         choices=("value", "redraw"),
         default=None,
@@ -472,16 +498,43 @@ def _run_info() -> int:
     return 0
 
 
+def _kernel_lowering() -> tuple[str, dict[str, str]]:
+    """Probe every registry key's kernel lowering on a tiny workload.
+
+    Returns the active backend name and a ``key -> primitive op`` map for
+    the keys whose managers lower to a kernel spec (the rest run through
+    the scalar loop).
+    """
+    from repro.api import available_managers, build_manager
+    from repro.api.registry import BuildContext
+    from repro.core.backend import get_backend
+    from repro.media import small_encoder
+
+    backend = get_backend()
+    workload = small_encoder(seed=0, n_frames=1)
+    context = BuildContext.create(workload.build_system(), workload.deadlines())
+    ops: dict[str, str] = {}
+    for key in available_managers():
+        spec = build_manager(key, context).lower()
+        if spec is not None:
+            ops[key] = spec.op
+    return backend.name, ops
+
+
 def _run_managers() -> int:
     from repro.analysis import format_table
     from repro.api import registry_table
 
-    rows = registry_table()
+    backend_name, ops = _kernel_lowering()
+    rows = [
+        (key, params, "yes (" + ops[key] + ")" if key in ops else "no", description)
+        for key, params, description in registry_table()
+    ]
     print(
         format_table(
-            ["key", "parameters", "description"],
+            ["key", "parameters", "vectorized", "description"],
             rows,
-            title="Registered Quality Managers (repro.api)",
+            title=f"Registered Quality Managers (repro.api, backend: {backend_name})",
         )
     )
     print("\nusage: python -m repro run --manager <key>[:param=value,...]")
@@ -501,11 +554,15 @@ def _session(seed: int, small: bool, n_frames: int):
     return Session().system(workload).machine("ipod").seed(seed)
 
 
-def _run_run(manager: str, cycles: int, seed: int, small: bool) -> int:
+def _run_run(
+    manager: str, cycles: int, seed: int, small: bool, backend: str | None = None
+) -> int:
     from repro.analysis import sparkline
 
     try:
         session = _session(seed, small, cycles).manager(manager)
+        if backend is not None:
+            session.backend(backend)
         result = session.run(cycles=cycles)
     except ValueError as error:  # RegistryError/SessionError/bad manager params
         print(f"error: {error}")
@@ -520,12 +577,20 @@ def _run_run(manager: str, cycles: int, seed: int, small: bool) -> int:
     return 0
 
 
-def _run_compare(frames: int, seed: int, small: bool, managers: str = _DEFAULT_COMPARE) -> int:
+def _run_compare(
+    frames: int,
+    seed: int,
+    small: bool,
+    managers: str = _DEFAULT_COMPARE,
+    backend: str | None = None,
+) -> int:
     from repro.analysis import memory_report, metrics_report, sparkline
 
     specs = [spec.strip() for spec in managers.split(",") if spec.strip()]
     try:
         session = _session(seed, small, frames)
+        if backend is not None:
+            session.backend(backend)
         print(memory_report(session.compile().report))
         print()
         batch = session.compare(*specs, cycles=frames, seed=seed)
@@ -553,6 +618,7 @@ def _run_sweep(
     spool: str | None = None,
     lease_timeout: float | None = None,
     timeout: float | None = None,
+    backend: str | None = None,
 ) -> int:
     import time
 
@@ -568,6 +634,8 @@ def _run_sweep(
     specs = [spec.strip() for spec in managers.split(",") if spec.strip()]
     try:
         session = _session(seed, small, cycles)
+        if backend is not None:
+            session.backend(backend)
         # an explicit opt-out also keeps the *pool* from using its default
         # cache location — workers then compile locally
         session.artifacts(False if no_cache else (cache_dir if cache_dir is not None else True))
@@ -711,6 +779,7 @@ def _run_experiments(
     scenario_transport: str | None = None,
     spool: str | None = None,
     spool_timeout: float | None = None,
+    backend: str | None = None,
 ) -> int:
     from repro.experiments import run_all_experiments
 
@@ -720,6 +789,7 @@ def _run_experiments(
             seed=seed,
             workers=workers,
             vectorize=vectorize,
+            backend=backend,
             scenario_transport=scenario_transport,
             spool=spool,
             spool_timeout=spool_timeout,
@@ -783,9 +853,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     if arguments.command == "managers":
         return _run_managers()
     if arguments.command == "run":
-        return _run_run(arguments.manager, arguments.cycles, arguments.seed, arguments.small)
+        return _run_run(
+            arguments.manager,
+            arguments.cycles,
+            arguments.seed,
+            arguments.small,
+            arguments.backend,
+        )
     if arguments.command == "compare":
-        return _run_compare(arguments.frames, arguments.seed, arguments.small, arguments.managers)
+        return _run_compare(
+            arguments.frames,
+            arguments.seed,
+            arguments.small,
+            arguments.managers,
+            arguments.backend,
+        )
     if arguments.command == "sweep":
         return _run_sweep(
             arguments.managers,
@@ -800,6 +882,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.spool,
             arguments.lease_timeout,
             arguments.timeout,
+            arguments.backend,
         )
     if arguments.command == "worker":
         return _run_worker(
@@ -825,6 +908,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.scenario_transport,
             arguments.spool,
             arguments.timeout,
+            arguments.backend,
         )
     if arguments.command == "diagram":
         return _run_diagram(arguments.seed)

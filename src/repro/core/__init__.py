@@ -7,6 +7,13 @@ control relaxation regions) together with the compiler that pre-computes
 them.
 """
 
+from .backend import (
+    BackendError,
+    available_backends,
+    backend_available,
+    get_backend,
+    registered_backends,
+)
 from .compiler import CompilationReport, CompiledControllers, QualityManagerCompiler
 from .controller import (
     ControlledSystem,
@@ -22,6 +29,7 @@ from .engine import (
     run_cycles_vectorized,
     supports_vectorized,
 )
+from .kernelspec import PRIMITIVE_OPS, KernelSpec
 from .manager import (
     Decision,
     ManagerWork,
@@ -133,6 +141,14 @@ __all__ = [
     "supports_vectorized",
     "run_cycles_vectorized",
     "run_cycles_batch",
+    # kernel specs and compute backends
+    "KernelSpec",
+    "PRIMITIVE_OPS",
+    "BackendError",
+    "get_backend",
+    "backend_available",
+    "available_backends",
+    "registered_backends",
     # validation
     "audit_trace",
     "assert_trace_safe",

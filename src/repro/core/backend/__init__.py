@@ -1,0 +1,153 @@
+"""Pluggable compute backends for the lowered decision kernels.
+
+A *backend* turns a declarative :class:`~repro.core.kernelspec.KernelSpec`
+into an executable program: an object whose ``decide(state_index, times)``
+returns ``(rows, steps, late)`` arrays for one lockstep batch invocation
+(``late`` is ``None`` for ops without a late path).  The engine
+(:mod:`repro.core.engine`) binds overhead charges and accounting around the
+program, so backends only implement the primitive math — and because every
+primitive performs the exact floating-point operation sequence of the scalar
+managers, outcomes stay bit-identical across backends.
+
+Two backends are registered:
+
+* ``numpy`` (the default) — pure NumPy implementations of all primitives;
+* ``numba`` — JIT-compiled inner loops for the comparison-bound primitives
+  (``lookup``/``relaxation``), delegating the rest to the NumPy programs.
+  It is *optional*: when numba is not installed the backend reports itself
+  unavailable and selecting it raises :class:`BackendError`.
+
+Selection: :func:`get_backend` resolves an explicit name, else the
+``REPRO_BACKEND`` environment variable, else ``numpy``.  The choice is
+plumbed end-to-end — ``Session.backend()``, the CLI ``--backend`` flags and
+the sweep :class:`~repro.runtime.plan.ExecutionPayload` all carry it, so
+pool, spool and service workers execute under the same backend as a local
+run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.kernelspec import KernelSpec
+
+__all__ = [
+    "ENV_BACKEND",
+    "BackendError",
+    "KernelProgram",
+    "KernelBackend",
+    "register_backend",
+    "registered_backends",
+    "available_backends",
+    "backend_available",
+    "get_backend",
+]
+
+#: environment variable naming the default backend
+ENV_BACKEND = "REPRO_BACKEND"
+
+
+class BackendError(ValueError):
+    """Unknown backend name, or a registered backend that is not installed."""
+
+
+@runtime_checkable
+class KernelProgram(Protocol):
+    """An executable lowering of one spec: batch decisions, no accounting."""
+
+    def decide(
+        self, state_index: int, times: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Return ``(rows, steps, late)`` for one lockstep invocation.
+
+        ``late`` flags the cycles on the spec's late path (``None`` when the
+        op has no late/normal distinction).
+        """
+        ...
+
+
+@runtime_checkable
+class KernelBackend(Protocol):
+    """A registry entry: compiles specs into :class:`KernelProgram` objects."""
+
+    name: str
+
+    def compile(self, spec: KernelSpec) -> KernelProgram:
+        """Build the executable program for one spec."""
+        ...
+
+
+#: factories return the backend instance, or ``None`` when unavailable
+_FACTORIES: dict[str, Callable[[], "KernelBackend | None"]] = {}
+_INSTANCES: dict[str, "KernelBackend | None"] = {}
+
+
+def register_backend(name: str, factory: Callable[[], "KernelBackend | None"]) -> None:
+    """Register a backend factory; the factory returns ``None`` if unavailable."""
+    _FACTORIES[str(name)] = factory
+    _INSTANCES.pop(str(name), None)
+
+
+def _instance(name: str) -> "KernelBackend | None":
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]
+
+
+def registered_backends() -> tuple[str, ...]:
+    """Every registered backend name, available or not, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def backend_available(name: str) -> bool:
+    """True when the named backend exists and its dependencies are installed."""
+    return name in _FACTORIES and _instance(name) is not None
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backends usable in this environment, sorted."""
+    return tuple(name for name in registered_backends() if backend_available(name))
+
+
+def get_backend(name: str | None = None) -> KernelBackend:
+    """Resolve a backend: explicit name, else ``$REPRO_BACKEND``, else numpy.
+
+    Raises :class:`BackendError` for unknown names and for registered
+    backends whose dependencies are missing (e.g. ``numba`` without numba
+    installed).
+    """
+    if name is None:
+        name = os.environ.get(ENV_BACKEND, "").strip() or "numpy"
+    name = str(name)
+    if name not in _FACTORIES:
+        raise BackendError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(registered_backends())}"
+        )
+    backend = _instance(name)
+    if backend is None:
+        raise BackendError(
+            f"backend {name!r} is registered but not available in this "
+            "environment (its optional dependency is not installed); "
+            f"available backends: {', '.join(available_backends())}"
+        )
+    return backend
+
+
+def _numpy_factory() -> "KernelBackend | None":
+    from .numpy_backend import NumpyKernelBackend
+
+    return NumpyKernelBackend()
+
+
+def _numba_factory() -> "KernelBackend | None":
+    from .numba_backend import make_numba_backend
+
+    return make_numba_backend()
+
+
+register_backend("numpy", _numpy_factory)
+register_backend("numba", _numba_factory)

@@ -1,0 +1,114 @@
+"""Optional numba backend: JIT inner loops for the comparison-bound primitives.
+
+Only the primitives whose inner loops are pure comparisons — ``lookup`` and
+``relaxation`` — are JIT-compiled here; comparisons have no rounding
+behaviour, so bit-identity with the scalar loop (and the NumPy backend) is
+structural.  The arithmetic-bearing primitives (``affine``, ``feedback``)
+and the control-heavy stateful ones (``skip``, ``constant``) delegate to the
+NumPy programs unchanged: they are either already memory-bound or their
+float-op ordering is what guarantees parity, and re-deriving it under a JIT
+buys nothing.
+
+The backend is *gated*: :func:`make_numba_backend` returns ``None`` when
+numba is not installed, so the registry reports it unavailable instead of
+failing at import time.  Install it with the ``numba`` extra
+(``pip install repro[numba]``) and select it via ``--backend numba`` /
+``REPRO_BACKEND=numba`` / ``Session.backend("numba")``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernelspec import KernelSpec
+
+__all__ = ["make_numba_backend"]
+
+
+def make_numba_backend():
+    """Build the numba backend, or return ``None`` when numba is missing."""
+    try:
+        from numba import njit
+    except ImportError:
+        return None
+
+    from .numpy_backend import NumpyKernelBackend
+
+    @njit(cache=True)
+    def _lookup_rows(boundaries_row, n_levels, times, rows, late):
+        for k in range(times.shape[0]):
+            t = times[k]
+            first = np.searchsorted(boundaries_row, t)
+            count = n_levels - first
+            if count == 0:
+                late[k] = True
+                rows[k] = 0
+            else:
+                late[k] = False
+                rows[k] = count - 1
+
+    @njit(cache=True)
+    def _relaxation_steps(rows, late, times, lower, upper, r, steps):
+        # lower/upper are the (n_levels,) bound slices for the current state.
+        for k in range(times.shape[0]):
+            if late[k]:
+                continue
+            q = rows[k]
+            t = times[k]
+            if lower[q] < t and t <= upper[q]:
+                steps[k] = r
+
+    class _NumbaLookupProgram:
+        def __init__(self, spec: KernelSpec) -> None:
+            self._boundaries = spec.tables["boundaries"]
+            self._n_levels = int(spec.n_levels)
+
+        def _rows(self, state_index: int, times: np.ndarray):
+            count = times.shape[0]
+            rows = np.empty(count, dtype=np.intp)
+            late = np.empty(count, dtype=np.bool_)
+            _lookup_rows(
+                self._boundaries[state_index], self._n_levels, times, rows, late
+            )
+            return rows, late
+
+        def decide(self, state_index: int, times: np.ndarray):
+            rows, late = self._rows(state_index, times)
+            steps = np.ones(times.shape[0], dtype=np.int64)
+            return rows, steps, late
+
+    class _NumbaRelaxationProgram(_NumbaLookupProgram):
+        def __init__(self, spec: KernelSpec) -> None:
+            super().__init__(spec)
+            tables = spec.tables
+            self._steps = tuple(int(r) for r in tables["steps"])
+            self._lower = tuple(tables["lower"])
+            self._upper = tuple(tables["upper"])
+
+        def decide(self, state_index: int, times: np.ndarray):
+            rows, late = self._rows(state_index, times)
+            steps = np.ones(times.shape[0], dtype=np.int64)
+            for r, lower, upper in zip(self._steps, self._lower, self._upper):
+                if r <= 1:
+                    continue
+                _relaxation_steps(
+                    rows, late, times, lower[state_index], upper[state_index], r, steps
+                )
+            return rows, steps, late
+
+    class NumbaKernelBackend:
+        """JIT lookup/relaxation; NumPy programs for everything else."""
+
+        name = "numba"
+
+        def __init__(self) -> None:
+            self._fallback = NumpyKernelBackend()
+
+        def compile(self, spec: KernelSpec):
+            if spec.op == "lookup":
+                return _NumbaLookupProgram(spec)
+            if spec.op == "relaxation":
+                return _NumbaRelaxationProgram(spec)
+            return self._fallback.compile(spec)
+
+    return NumbaKernelBackend()

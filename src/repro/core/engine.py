@@ -10,12 +10,16 @@ cycle at once.
 
 The engine works in three parts:
 
-* **decision kernels** — each table-driven manager is lowered once into a
-  :class:`DecisionKernel`: the quality choice becomes an interval lookup via
-  :func:`numpy.searchsorted` over the pre-computed ``t^D`` boundaries of the
-  :class:`~repro.core.tdtable.TDTable` (the quality regions of Proposition 2),
-  and the relaxation step choice becomes masked comparisons against the
-  stored :class:`~repro.core.relaxation.RelaxationTable` bounds;
+* **decision kernels** — each manager lowers itself once into a declarative
+  :class:`~repro.core.kernelspec.KernelSpec` (pre-computed tables plus one
+  primitive op) via :meth:`~repro.core.manager.QualityManager.lower`; a
+  compute backend (:mod:`repro.core.backend` — NumPy by default, numba
+  optionally) compiles the spec into a batch program, and the engine binds
+  overhead charges and invocation accounting around it
+  (:class:`DecisionKernel`).  The engine never branches on manager classes:
+  every registered manager — numeric, the adaptive baselines (skip, elastic,
+  feedback), the symbolic managers and the extensions (dvfs, multitask,
+  linear-approx) — runs through the same spec protocol;
 * **the lockstep executor** — :func:`run_cycles_vectorized` advances every
   cycle of the batch by exactly one action per iteration, so the per-cycle
   sequence of floating-point additions (overhead, then one duration per
@@ -26,9 +30,9 @@ The engine works in three parts:
   (a columnar :class:`~repro.core.timing.ScenarioBatch` whose tensor the
   executor consumes directly, no re-stacking) and picks the vectorised path
   when a kernel exists, falling back to the scalar loop (same results,
-  slower) for managers with no kernel — the numeric manager, the adaptive
-  baselines, the extension managers — or for overhead models that do not
-  declare deterministic charges.
+  slower, counted under ``engine.scalar_fallback`` in :mod:`repro.obs`) for
+  managers that do not lower or overhead models that do not declare
+  deterministic charges.
 
 Determinism contract: for any manager/overhead/scenario combination, the
 outcomes returned by this module are bit-identical to a sequence of scalar
@@ -50,10 +54,10 @@ import numpy as np
 from repro.obs.metrics import registry as _obs_registry
 from repro.obs.state import enabled as _obs_enabled
 
+from .backend import get_backend
 from .controller import OverheadModelProtocol, run_cycle
+from .kernelspec import KernelSpec
 from .manager import ManagerWork, QualityManager
-from .regions import RegionQualityManager
-from .relaxation import RelaxationQualityManager
 from .system import CycleOutcome, ParameterizedSystem
 from .timing import ActualTimeScenario, ScenarioBatch
 
@@ -137,241 +141,118 @@ def _charge_for(model: OverheadModelProtocol | None, work: ManagerWork) -> float
     return float(model.cost_of(work))  # type: ignore[attr-defined]
 
 
-def _ascending_boundaries(td_values: np.ndarray) -> np.ndarray | None:
-    """Per-state ``t^D`` boundaries as ascending rows for ``searchsorted``.
+class _SpecKernel:
+    """A compiled spec bound to overhead charges and invocation accounting.
 
-    Returns a ``(n_states, n_levels)`` array whose row ``i`` holds the
-    state's boundaries lowest-quality-last (ascending), or ``None`` when the
-    columns are not non-increasing in quality — the interval-lookup kernel
-    then would not reproduce the scalar "last eligible level" rule and the
-    caller must fall back to the scalar loop.
+    The backend program answers the pure decisions ``(rows, steps, late)``;
+    this wrapper adds what the engine owes the overhead model: the
+    pre-computed charge of each invocation (per-state when the spec carries
+    one work record per state, late-split when the spec has a distinct late
+    record, fixed otherwise) and the exact invocation counts replayed through
+    ``charge_batch`` after the batch.
     """
-    if td_values.shape[0] > 1 and not bool(np.all(np.diff(td_values, axis=0) <= 0.0)):
-        return None
-    return np.ascontiguousarray(td_values[::-1].T)
 
-
-def _choose_rows(
-    boundaries: np.ndarray, n_levels: int, state_index: int, times: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Quality rows by interval lookup: ``max { q | t^D(s_i, q) >= t }``.
-
-    ``boundaries[state_index]`` is ascending, so the eligible levels form a
-    suffix; ``searchsorted`` finds its first entry ``>= t`` and the count of
-    eligible levels follows.  Returns ``(rows, late)`` where late cycles
-    (no eligible level) fall back to row 0 — the minimal quality, exactly
-    :meth:`TDTable.choose_quality`'s best-effort rule.
-    """
-    first = np.searchsorted(boundaries[state_index], times, side="left")
-    counts = n_levels - first
-    late = counts == 0
-    rows = np.where(late, 0, counts - 1)
-    return rows, late
-
-
-class _FixedWorkKernel:
-    """Shared invocation accounting for kernels with one distinct work record."""
-
-    def __init__(self, work: ManagerWork, charge: float) -> None:
-        self._work = work
-        self._charge = float(charge)
-        self._invocations = 0
+    def __init__(
+        self,
+        spec: KernelSpec,
+        program: object,
+        overhead_model: OverheadModelProtocol | None,
+    ) -> None:
+        self._program = program
+        work = spec.work
+        self._per_state = isinstance(work, tuple)
+        if self._per_state:
+            self._works: tuple[ManagerWork, ...] = work
+            self._charges = np.array(
+                [_charge_for(overhead_model, record) for record in work],
+                dtype=np.float64,
+            )
+            self._counts = np.zeros(len(work), dtype=np.int64)
+        else:
+            self._work: ManagerWork = work
+            self._charge = _charge_for(overhead_model, work)
+            self._invocations = 0
+        self._late_work = spec.late_work
+        self._late_charge = (
+            _charge_for(overhead_model, spec.late_work)
+            if spec.late_work is not None
+            else 0.0
+        )
+        self._late_invocations = 0
 
     def reset_accounting(self) -> None:
-        self._invocations = 0
+        if self._per_state:
+            self._counts[:] = 0
+        else:
+            self._invocations = 0
+        self._late_invocations = 0
 
     def accounting(self) -> list[tuple[ManagerWork, int]]:
         """Invocation count per distinct work record since the last reset."""
+        if self._per_state:
+            return [
+                (record, int(count))
+                for record, count in zip(self._works, self._counts)
+            ]
+        if self._late_work is not None:
+            return [
+                (self._work, self._invocations),
+                (self._late_work, self._late_invocations),
+            ]
         return [(self._work, self._invocations)]
 
-
-class _ConstantKernel(_FixedWorkKernel):
-    """Kernel for the constant-quality baseline (fixed row, fixed charge)."""
-
-    def __init__(
-        self,
-        row: int,
-        consult_every_action: bool,
-        horizon: int | None,
-        work: ManagerWork,
-        charge: float,
-    ) -> None:
-        super().__init__(work, charge)
-        self._row = int(row)
-        self._consult = bool(consult_every_action)
-        self._horizon = horizon
-
     def decide_batch(
         self, state_index: int, times: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        rows, steps, late = self._program.decide(state_index, times)  # type: ignore[attr-defined]
         count = times.shape[0]
-        self._invocations += count
-        rows = np.full(count, self._row, dtype=np.intp)
-        if self._consult:
-            steps = np.ones(count, dtype=np.int64)
+        if self._per_state:
+            self._counts[state_index] += count
+            overheads = np.full(count, self._charges[state_index], dtype=np.float64)
+        elif self._late_work is not None and late is not None:
+            n_late = int(late.sum())
+            self._late_invocations += n_late
+            self._invocations += count - n_late
+            overheads = np.where(late, self._late_charge, self._charge)
         else:
-            remaining = (self._horizon - state_index) if self._horizon else 10**9
-            steps = np.full(count, max(1, remaining), dtype=np.int64)
-        overheads = np.full(count, self._charge, dtype=np.float64)
-        return rows, steps, overheads
-
-
-class _RegionKernel(_FixedWorkKernel):
-    """Kernel for the quality-region manager: one interval lookup per cycle."""
-
-    def __init__(
-        self, boundaries: np.ndarray, n_levels: int, work: ManagerWork, charge: float
-    ) -> None:
-        super().__init__(work, charge)
-        self._boundaries = boundaries
-        self._n_levels = int(n_levels)
-
-    def decide_batch(
-        self, state_index: int, times: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        self._invocations += times.shape[0]
-        rows, _ = _choose_rows(self._boundaries, self._n_levels, state_index, times)
-        steps = np.ones(times.shape[0], dtype=np.int64)
-        overheads = np.full(times.shape[0], self._charge, dtype=np.float64)
-        return rows, steps, overheads
-
-
-class _RelaxationKernel:
-    """Kernel for the relaxation manager: region lookup + stored ``R^r_q`` bounds.
-
-    ``lower``/``upper`` hold one ``(n_states, n_levels)`` array per step of
-    ``step_values`` (ascending); the step choice scans them in ascending
-    order and keeps the largest containing region, exactly
-    :meth:`RelaxationTable.max_relaxation`.
-    """
-
-    def __init__(
-        self,
-        boundaries: np.ndarray,
-        n_levels: int,
-        step_values: Sequence[int],
-        lower: Sequence[np.ndarray],
-        upper: Sequence[np.ndarray],
-        work: ManagerWork,
-        charge: float,
-        late_work: ManagerWork,
-        late_charge: float,
-    ) -> None:
-        self._boundaries = boundaries
-        self._n_levels = int(n_levels)
-        self._steps = tuple(int(r) for r in step_values)
-        self._lower = tuple(lower)
-        self._upper = tuple(upper)
-        self._work = work
-        self._charge = float(charge)
-        self._late_work = late_work
-        self._late_charge = float(late_charge)
-        self._invocations = 0
-        self._late_invocations = 0
-
-    def reset_accounting(self) -> None:
-        self._invocations = 0
-        self._late_invocations = 0
-
-    def accounting(self) -> list[tuple[ManagerWork, int]]:
-        """Invocation count per distinct work record since the last reset."""
-        return [
-            (self._work, self._invocations),
-            (self._late_work, self._late_invocations),
-        ]
-
-    def decide_batch(
-        self, state_index: int, times: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        rows, late = _choose_rows(self._boundaries, self._n_levels, state_index, times)
-        steps = np.ones(times.shape[0], dtype=np.int64)
-        live = ~late
-        n_late = int(late.sum())
-        self._late_invocations += n_late
-        self._invocations += times.shape[0] - n_late
-        for r, lower, upper in zip(self._steps, self._lower, self._upper):
-            if r <= 1:
-                continue  # the scalar scan never improves on the initial best of 1
-            low = lower[state_index][rows]
-            high = upper[state_index][rows]
-            contained = live & (low < times) & (times <= high)
-            steps[contained] = r
-        overheads = np.where(late, self._late_charge, self._charge)
+            self._invocations += count
+            overheads = np.full(count, self._charge, dtype=np.float64)
         return rows, steps, overheads
 
 
 def compile_decision_kernel(
     manager: QualityManager,
     overhead_model: OverheadModelProtocol | None = None,
+    backend: str | None = None,
 ) -> DecisionKernel | None:
     """Lower a manager into a :class:`DecisionKernel`, or ``None``.
 
-    ``None`` means the scalar loop must be used: the manager is not one of
-    the table-driven implementations (exact types only — subclasses may
-    override ``decide`` arbitrarily), its ``t^D`` table is not monotone in
-    quality, or the overhead model's charges cannot be pre-computed.
+    Asks the manager for its declarative spec
+    (:meth:`~repro.core.manager.QualityManager.lower`), compiles it on the
+    selected compute backend (explicit name, else ``$REPRO_BACKEND``, else
+    numpy) and binds overhead charges around the program.  ``None`` means the
+    scalar loop must be used: the manager does not lower (no spec, or
+    non-monotone tables) or the overhead model's charges cannot be
+    pre-computed.  Naming an unknown or unavailable backend raises
+    :class:`~repro.core.backend.BackendError` — a requested backend is never
+    silently substituted.
     """
     if not overhead_model_vectorizable(overhead_model):
         return None
-    from repro.baselines.constant import ConstantQualityManager
-
-    n_levels = len(manager.qualities)
-    if type(manager) is ConstantQualityManager:
-        work = ManagerWork(kind=manager.name, comparisons=0, table_lookups=1)
-        return _ConstantKernel(
-            manager.qualities.index_of(manager.level),
-            manager.consults_every_action,
-            manager.horizon,
-            work,
-            _charge_for(overhead_model, work),
-        )
-    if type(manager) is RegionQualityManager:
-        boundaries = _ascending_boundaries(manager.regions.td_table.values)
-        if boundaries is None:
-            return None
-        work = ManagerWork(
-            kind=manager.name,
-            arithmetic_ops=0,
-            comparisons=n_levels,
-            table_lookups=n_levels,
-        )
-        return _RegionKernel(
-            boundaries, n_levels, work, _charge_for(overhead_model, work)
-        )
-    if type(manager) is RelaxationQualityManager:
-        table = manager.relaxation
-        boundaries = _ascending_boundaries(table.td_table.values)
-        if boundaries is None:
-            return None
-        n_rho = len(table.steps)
-        work = ManagerWork(
-            kind=manager.name,
-            comparisons=n_levels + 2 * n_rho,
-            table_lookups=n_levels + 2 * n_rho,
-        )
-        late_work = ManagerWork(
-            kind=manager.name, comparisons=n_levels, table_lookups=n_levels
-        )
-        return _RelaxationKernel(
-            boundaries,
-            n_levels,
-            table.steps,
-            [np.ascontiguousarray(table.lower_bounds(r).T) for r in table.steps],
-            [np.ascontiguousarray(table.upper_bounds(r).T) for r in table.steps],
-            work,
-            _charge_for(overhead_model, work),
-            late_work,
-            _charge_for(overhead_model, late_work),
-        )
-    return None
+    spec = manager.lower()
+    if spec is None:
+        return None
+    program = get_backend(backend).compile(spec)
+    return _SpecKernel(spec, program, overhead_model)
 
 
 def supports_vectorized(
     manager: QualityManager,
     overhead_model: OverheadModelProtocol | None = None,
+    backend: str | None = None,
 ) -> bool:
     """True when the manager/overhead pair lowers to a decision kernel."""
-    return compile_decision_kernel(manager, overhead_model) is not None
+    return compile_decision_kernel(manager, overhead_model, backend) is not None
 
 
 def scenarios_vectorizable(
@@ -432,6 +313,7 @@ def run_cycles_vectorized(
     *,
     overhead_model: OverheadModelProtocol | None = None,
     kernel: DecisionKernel | None = None,
+    backend: str | None = None,
 ) -> tuple[CycleOutcome, ...]:
     """Execute a batch of cycles through the lockstep vectorised engine.
 
@@ -445,7 +327,7 @@ def run_cycles_vectorized(
     :class:`EngineError` when the manager has no kernel.
     """
     if kernel is None:
-        kernel = compile_decision_kernel(manager, overhead_model)
+        kernel = compile_decision_kernel(manager, overhead_model, backend)
         if kernel is None:
             raise EngineError(
                 f"manager {manager.name!r} (with this overhead model) has no "
@@ -528,6 +410,7 @@ def run_cycles_batch(
     rng: np.random.Generator | None = None,
     overhead_model: OverheadModelProtocol | None = None,
     vectorize: object = "auto",
+    backend: str | None = None,
 ) -> tuple[CycleOutcome, ...]:
     """Execute a batch of cycles, vectorised when possible.
 
@@ -540,7 +423,9 @@ def run_cycles_batch(
     (bit-identical to the scalar loop's per-cycle draws, including the
     sampler-state advancement).  ``vectorize`` is ``"auto"`` (kernel when
     available, scalar otherwise), ``"always"``/``True`` (raise without a
-    kernel) or ``"never"``/``False`` (scalar loop).
+    kernel) or ``"never"``/``False`` (scalar loop).  ``backend`` names the
+    compute backend compiling the kernel (``None``: ``$REPRO_BACKEND``, else
+    numpy).
     """
     mode = coerce_vectorize_mode(vectorize)
     if scenarios is None:
@@ -559,7 +444,7 @@ def run_cycles_batch(
             )
     kernel = None
     if mode != "never":
-        kernel = compile_decision_kernel(manager, overhead_model)
+        kernel = compile_decision_kernel(manager, overhead_model, backend)
         if kernel is None and mode == "always":
             raise EngineError(
                 f"manager {manager.name!r} (with this overhead model) has no "
@@ -577,6 +462,8 @@ def run_cycles_batch(
         registry = _obs_registry()
         registry.inc(f"engine.batches.{mode_label}.{type(manager).__name__}")
         registry.inc(f"engine.cycles.{mode_label}", len(scenarios))
+        if kernel is None:
+            registry.inc(f"engine.scalar_fallback.{type(manager).__name__}")
     if kernel is not None:
         return run_cycles_vectorized(
             system, manager, scenarios, overhead_model=overhead_model, kernel=kernel

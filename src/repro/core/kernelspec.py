@@ -1,0 +1,160 @@
+"""Declarative kernel specs: the "tables in, kernel out" lowering protocol.
+
+Every :class:`~repro.core.manager.QualityManager` can describe its decision
+rule as a :class:`KernelSpec` — pre-computed boundary/bound/coefficient
+arrays plus the name of one *primitive operation* from a small closed set —
+via :meth:`~repro.core.manager.QualityManager.lower`.  The vectorised engine
+(:mod:`repro.core.engine`) never needs to know the manager class: it hands
+the spec to a compute backend (:mod:`repro.core.backend`), which returns an
+executable program for the primitive, and binds overhead charges and
+invocation accounting around it.
+
+The primitive ops (:data:`PRIMITIVE_OPS`):
+
+``constant``
+    A fixed quality row, optionally consulted once per cycle (the constant
+    baseline).
+``lookup``
+    Searchsorted interval lookup over per-state ascending boundaries — the
+    quality regions of Proposition 2.  Covers the region manager and every
+    manager whose rule is "last level whose stored time bound is >= t"
+    (numeric, safe-only/average-only, elastic).
+``relaxation``
+    ``lookup`` plus masked comparisons against stored relaxation-region
+    bounds (Proposition 3) to pick the step count.
+``affine``
+    ``lookup`` plus affine bound evaluation — the linear-approximation
+    manager, whose bounds are ``slope * i + intercept`` per (step, level).
+``skip``
+    Stateful countdown recurrence with per-state deadline projections (the
+    skip-over baseline).
+``feedback``
+    Stateful PID recurrence over a pre-computed reference schedule (the
+    feedback baseline).
+
+A spec's ``work`` is either one :class:`~repro.core.manager.ManagerWork`
+record (every invocation performs the same abstract work) or a tuple with
+one record per state (e.g. the numeric manager's scan shrinks as the cycle
+advances); ``late_work`` is the distinct record charged on the late path of
+the relaxation-style ops.  :meth:`KernelSpec.relabel` rewrites every record's
+``kind`` — delegating wrappers (dvfs, multitask) lower via their inner
+manager's spec and relabel it so overhead accounting stays keyed by the
+wrapper's reporting name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from .manager import ManagerWork
+
+__all__ = [
+    "PRIMITIVE_OPS",
+    "KernelSpec",
+    "ascending_boundaries",
+    "interval_spec",
+]
+
+#: the closed set of primitive operations a spec may name
+PRIMITIVE_OPS = ("constant", "lookup", "relaxation", "affine", "skip", "feedback")
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One lowered manager: a primitive op plus its pre-computed tables.
+
+    Attributes
+    ----------
+    op:
+        Primitive operation name, one of :data:`PRIMITIVE_OPS`.
+    kind:
+        The manager's reporting name — the ``kind`` of every work record,
+        i.e. the key overhead models account charges under.
+    n_levels:
+        Number of quality levels (rows are 0-based level indices).
+    tables:
+        The op's pre-computed arrays and scalars (see the backend programs
+        for the exact keys each op consumes).
+    work:
+        One work record for every invocation, or a tuple with one record per
+        state index.
+    late_work:
+        The distinct work record of the late path, for ops that have one
+        (``relaxation``/``affine``); ``None`` otherwise.
+    """
+
+    op: str
+    kind: str
+    n_levels: int
+    tables: Mapping[str, Any] = field(default_factory=dict)
+    work: ManagerWork | tuple[ManagerWork, ...] = ManagerWork(kind="abstract")
+    late_work: ManagerWork | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in PRIMITIVE_OPS:
+            raise ValueError(
+                f"unknown kernel primitive {self.op!r}; expected one of {PRIMITIVE_OPS}"
+            )
+
+    def relabel(self, kind: str) -> "KernelSpec":
+        """A copy whose every work record carries ``kind`` (wrapper managers)."""
+
+        def rekind(work: ManagerWork) -> ManagerWork:
+            return ManagerWork(
+                kind=kind,
+                arithmetic_ops=work.arithmetic_ops,
+                comparisons=work.comparisons,
+                table_lookups=work.table_lookups,
+            )
+
+        work = (
+            tuple(rekind(record) for record in self.work)
+            if isinstance(self.work, tuple)
+            else rekind(self.work)
+        )
+        late = rekind(self.late_work) if self.late_work is not None else None
+        return replace(self, kind=kind, work=work, late_work=late)
+
+
+def ascending_boundaries(td_values: np.ndarray) -> np.ndarray | None:
+    """Per-state time boundaries as ascending rows for ``searchsorted``.
+
+    ``td_values`` is the ``(n_levels, n_states)`` layout of
+    :attr:`~repro.core.tdtable.TDTable.values` (rows ordered by ascending
+    level index, values non-increasing in level).  Returns a
+    ``(n_states, n_levels)`` array whose row ``i`` holds the state's
+    boundaries lowest-quality-last (ascending), or ``None`` when the columns
+    are not non-increasing in quality — the interval-lookup primitive then
+    would not reproduce the scalar "last eligible level" rule and the caller
+    must not lower.
+    """
+    if td_values.shape[0] > 1 and not bool(np.all(np.diff(td_values, axis=0) <= 0.0)):
+        return None
+    return np.ascontiguousarray(td_values[::-1].T)
+
+
+def interval_spec(
+    kind: str,
+    td_values: np.ndarray,
+    work: ManagerWork | tuple[ManagerWork, ...],
+) -> KernelSpec | None:
+    """A ``lookup`` spec over a monotone per-level time table, or ``None``.
+
+    The shared lowering of every "last level with stored bound >= t" manager
+    (region, numeric, safe-only/average-only, elastic): ``None`` when the
+    table is not monotone in quality, in which case the manager keeps the
+    scalar loop.
+    """
+    boundaries = ascending_boundaries(np.asarray(td_values, dtype=np.float64))
+    if boundaries is None:
+        return None
+    return KernelSpec(
+        op="lookup",
+        kind=kind,
+        n_levels=int(td_values.shape[0]),
+        tables={"boundaries": boundaries},
+        work=work,
+    )

@@ -24,9 +24,13 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from .tdtable import TDTable
 from .types import QualitySet
+
+if TYPE_CHECKING:  # avoids a cycle: kernelspec imports ManagerWork from here
+    from .kernelspec import KernelSpec
 
 __all__ = [
     "ManagerWork",
@@ -138,6 +142,20 @@ class QualityManager(ABC):
     def reset(self) -> None:
         """Prepare for a new cycle.  Stateless managers need not override."""
 
+    def lower(self) -> "KernelSpec | None":
+        """Declarative kernel spec of this manager's decision rule, or ``None``.
+
+        The "tables in, kernel out" protocol of :mod:`repro.core.kernelspec`:
+        a returned spec names one primitive op plus the pre-computed tables it
+        consumes, and a compute backend (:mod:`repro.core.backend`) turns it
+        into a batch program whose decisions are bit-identical to
+        :meth:`decide`.  ``None`` means the rule cannot be expressed as a
+        primitive (or its tables are not monotone) and the scalar loop must be
+        used.  A subclass that overrides :meth:`decide` MUST override this
+        too — an inherited spec would describe the parent's rule.
+        """
+        return None
+
     @abstractmethod
     def memory_footprint(self) -> MemoryFootprint:
         """Pre-computed storage the implementation needs at run time."""
@@ -200,6 +218,28 @@ class NumericQualityManager(QualityManager):
             table_lookups=0,
         )
         return Decision(quality=quality, steps=1, work=work)
+
+    def lower(self) -> "KernelSpec | None":
+        """Interval lookup over ``t^D`` with the on-line scan's per-state work.
+
+        The chosen qualities are what the on-line computation would produce
+        (they are read from the same table), but the reported work shrinks as
+        the cycle advances — hence one work record per state.
+        """
+        from .kernelspec import interval_spec
+
+        n = self._table.n_states
+        n_levels = self._table.n_levels
+        work = tuple(
+            ManagerWork(
+                kind=self.name,
+                arithmetic_ops=(n - i) * n_levels * self._ops_per_action_level,
+                comparisons=n_levels,
+                table_lookups=0,
+            )
+            for i in range(n)
+        )
+        return interval_spec(self.name, self._table.values, work)
 
     def memory_footprint(self) -> MemoryFootprint:
         """The numeric manager stores only the raw timing tables it scans.

@@ -143,5 +143,18 @@ class RegionQualityManager(QualityManager):
         )
         return Decision(quality=quality, steps=1, work=work)
 
+    def lower(self):
+        """Interval lookup over the stored region boundaries (Proposition 2)."""
+        from .kernelspec import interval_spec
+
+        n_levels = len(self.qualities)
+        work = ManagerWork(
+            kind=self.name,
+            arithmetic_ops=0,
+            comparisons=n_levels,
+            table_lookups=n_levels,
+        )
+        return interval_spec(self.name, self._regions.td_table.values, work)
+
     def memory_footprint(self) -> MemoryFootprint:
         return self._regions.memory_footprint()

@@ -312,6 +312,40 @@ class RelaxationQualityManager(QualityManager):
         )
         return Decision(quality=quality, steps=steps, work=work)
 
+    def lower(self):
+        """A ``relaxation`` spec: region lookup + stored ``R^r_q`` bound scans."""
+        from .kernelspec import KernelSpec, ascending_boundaries
+
+        table = self._relaxation
+        boundaries = ascending_boundaries(table.td_table.values)
+        if boundaries is None:
+            return None
+        n_levels = len(self.qualities)
+        n_rho = len(table.steps)
+        return KernelSpec(
+            op="relaxation",
+            kind=self.name,
+            n_levels=n_levels,
+            tables={
+                "boundaries": boundaries,
+                "steps": table.steps,
+                "lower": tuple(
+                    np.ascontiguousarray(table.lower_bounds(r).T) for r in table.steps
+                ),
+                "upper": tuple(
+                    np.ascontiguousarray(table.upper_bounds(r).T) for r in table.steps
+                ),
+            },
+            work=ManagerWork(
+                kind=self.name,
+                comparisons=n_levels + 2 * n_rho,
+                table_lookups=n_levels + 2 * n_rho,
+            ),
+            late_work=ManagerWork(
+                kind=self.name, comparisons=n_levels, table_lookups=n_levels
+            ),
+        )
+
     def memory_footprint(self) -> MemoryFootprint:
         """Storage of the relaxation tables (the region bounds are a subset: r=1)."""
         return self._relaxation.memory_footprint()

@@ -59,6 +59,7 @@ def run_all_experiments(
     workload: EncoderWorkload | None = None,
     workers: int | None = None,
     vectorize: str = "auto",
+    backend: str | None = None,
     scenario_transport: str | None = None,
     spool: str | None = None,
     spool_timeout: float | None = None,
@@ -77,7 +78,10 @@ def run_all_experiments(
     ``vectorize`` selects the cycle engine for the session-driven
     experiments — ``"auto"`` (default) batch-executes the table-driven
     managers through :mod:`repro.core.engine`, ``"never"`` forces the scalar
-    loop; either way the artefacts are bit-identical.  ``scenario_transport``
+    loop; either way the artefacts are bit-identical.  ``backend`` selects
+    the kernel compute backend (default ``$REPRO_BACKEND``, else
+    ``"numpy"``); every registered backend is bit-identical too.
+    ``scenario_transport``
     selects how a parallel comparison ships its shared scenarios to the
     workers (``"value"`` pre-draws and ships the
     :class:`~repro.core.timing.ScenarioBatch` tensor, ``"redraw"`` ships no
@@ -99,6 +103,8 @@ def run_all_experiments(
     # E2 and E3 share one facade session: the symbolic tables are compiled
     # once and reused from the session's cache across both experiments.
     session = Session().system(wl).seed(seed).vectorize(vectorize)
+    if backend is not None:
+        session.backend(backend)
     if spool is not None:
         session.remote(
             spool,
@@ -135,6 +141,11 @@ def main(argv: list[str] | None = None) -> int:
         help="cycle engine: vectorised NumPy kernels (auto/always) or the scalar loop",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        help="kernel compute backend, e.g. numpy or numba (default: $REPRO_BACKEND, else numpy)",
+    )
+    parser.add_argument(
         "--scenario-transport",
         choices=("value", "redraw"),
         default=None,
@@ -161,6 +172,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=arguments.seed,
         workers=arguments.workers,
         vectorize=arguments.vectorize,
+        backend=arguments.backend,
         scenario_transport=arguments.scenario_transport,
         spool=arguments.spool,
         spool_timeout=arguments.timeout,

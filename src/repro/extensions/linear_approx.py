@@ -127,6 +127,27 @@ class LinearRelaxationTable:
         """The exact table this approximates (kept only for validation)."""
         return self._exact
 
+    def upper_coefficients(self, r: int) -> np.ndarray:
+        """``(n_levels, 2)`` slope/intercept pairs of the upper bound lines.
+
+        Raw material of the ``affine`` kernel spec (:meth:`LinearRelaxationQualityManager.lower`).
+        """
+        if r not in self._upper_coeffs:
+            raise KeyError(f"relaxation step count {r} not in ρ = {self._steps}")
+        return self._upper_coeffs[r]
+
+    def lower_coefficients(self, r: int) -> np.ndarray:
+        """``(n_levels, 2)`` slope/intercept pairs of the lower bound lines."""
+        if r not in self._lower_coeffs:
+            raise KeyError(f"relaxation step count {r} not in ρ = {self._steps}")
+        return self._lower_coeffs[r]
+
+    def valid_until(self, r: int) -> int:
+        """Last state index with ``r`` remaining actions (region empty beyond)."""
+        if r not in self._valid_until:
+            raise KeyError(f"relaxation step count {r} not in ρ = {self._steps}")
+        return self._valid_until[r]
+
     def bounds(self, state_index: int, quality: int, r: int) -> tuple[float, float]:
         """Approximated ``(lower, upper)`` bounds of ``R^r_q`` at one state."""
         if r not in self._upper_coeffs:
@@ -229,6 +250,43 @@ class LinearRelaxationQualityManager(QualityManager):
             table_lookups=n_levels + 4 * n_rho,
         )
         return Decision(quality=quality, steps=steps, work=work)
+
+    def lower(self):
+        """An ``affine`` spec: region lookup + the four coefficients per (q, r)."""
+        from repro.core.kernelspec import KernelSpec, ascending_boundaries
+
+        boundaries = ascending_boundaries(self._regions.td_table.values)
+        if boundaries is None:
+            return None
+        table = self._linear
+        steps = table.steps
+        n_levels = len(self.qualities)
+        n_rho = len(steps)
+        upper = [table.upper_coefficients(r) for r in steps]
+        lower = [table.lower_coefficients(r) for r in steps]
+        return KernelSpec(
+            op="affine",
+            kind=self.name,
+            n_levels=n_levels,
+            tables={
+                "boundaries": boundaries,
+                "steps": steps,
+                "u_slope": tuple(np.ascontiguousarray(c[:, 0]) for c in upper),
+                "u_intercept": tuple(np.ascontiguousarray(c[:, 1]) for c in upper),
+                "l_slope": tuple(np.ascontiguousarray(c[:, 0]) for c in lower),
+                "l_intercept": tuple(np.ascontiguousarray(c[:, 1]) for c in lower),
+                "valid_until": tuple(table.valid_until(r) for r in steps),
+            },
+            work=ManagerWork(
+                kind=self.name,
+                arithmetic_ops=2 * n_rho,
+                comparisons=n_levels + 2 * n_rho,
+                table_lookups=n_levels + 4 * n_rho,
+            ),
+            late_work=ManagerWork(
+                kind=self.name, comparisons=n_levels, table_lookups=n_levels
+            ),
+        )
 
     def memory_footprint(self) -> MemoryFootprint:
         """Quality-region table plus the affine coefficients."""

@@ -227,6 +227,11 @@ class MultitaskQualityManager(QualityManager):
         )
         return Decision(quality=decision.quality, steps=decision.steps, work=work)
 
+    def lower(self):
+        """The inner manager's spec, relabelled to report under ``"multitask"``."""
+        spec = self._inner.lower()
+        return None if spec is None else spec.relabel(self.name)
+
     def memory_footprint(self) -> MemoryFootprint:
         return self._inner.memory_footprint()
 

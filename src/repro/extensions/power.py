@@ -252,6 +252,11 @@ class DvfsQualityManager(QualityManager):
         )
         return Decision(quality=decision.quality, steps=decision.steps, work=work)
 
+    def lower(self):
+        """The inner manager's spec, relabelled to report under ``"dvfs"``."""
+        spec = self._inner.lower()
+        return None if spec is None else spec.relabel(self.name)
+
     def memory_footprint(self) -> MemoryFootprint:
         return self._inner.memory_footprint()
 

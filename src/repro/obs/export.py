@@ -210,6 +210,19 @@ def render_report(report: dict) -> str:
         lines.extend(_render_metric(name, payload) for name, payload in metric_items)
     else:
         lines.append("  (none recorded)")
+    fallbacks = [
+        (name, payload)
+        for name, payload in metric_items
+        if name.startswith("engine.scalar_fallback.")
+    ]
+    if fallbacks:
+        # managers that were asked to batch-execute but had no kernel — a
+        # perf regression signal, so it gets its own section
+        lines.append("")
+        lines.append(f"engine scalar fallbacks ({len(fallbacks)} manager class(es))")
+        for name, payload in fallbacks:
+            manager = name.removeprefix("engine.scalar_fallback.")
+            lines.append(f"  {manager:<44} batches={payload.get('value', 0):g}")
     trees = report["trees"]
     lines.append("")
     lines.append(f"traces ({len(trees)} root span(s), {len(report['spans'])} spans)")

@@ -95,8 +95,10 @@ class ExecutionPayload:
     session uses.  ``cache_dir`` points at the compiled-artifact cache the
     workers hydrate from; ``None`` means each worker compiles locally.
     ``vectorize`` carries the session's engine selection
-    (``"auto"``/``"always"``/``"never"``) so every worker runs its chunk
-    through the same vectorised-or-scalar path the serial baseline would.
+    (``"auto"``/``"always"``/``"never"``) and ``backend`` its compute-backend
+    choice (``None``: resolve worker-side from ``$REPRO_BACKEND``, else
+    numpy), so every worker runs its chunk through the same
+    vectorised-or-scalar path the serial baseline would.
     """
 
     system: ParameterizedSystem
@@ -108,6 +110,7 @@ class ExecutionPayload:
     overhead: Any = None
     cache_dir: str | None = None
     vectorize: str = "auto"
+    backend: str | None = None
 
 
 @dataclass(frozen=True)

@@ -213,6 +213,7 @@ class _WorkerRuntime:
         """
         manager = build_manager(unit.manager, self._context())
         vectorize = getattr(self._payload, "vectorize", "auto")
+        backend = getattr(self._payload, "backend", None)
         if unit.scenarios is not None:
             self._check_unit_scenarios(unit)
             outcomes = run_cycles_batch(
@@ -221,6 +222,7 @@ class _WorkerRuntime:
                 scenarios=unit.scenarios,
                 overhead_model=self._overhead_model,
                 vectorize=vectorize,
+                backend=backend,
             )
             return manager.name, outcomes
         if (
@@ -236,6 +238,7 @@ class _WorkerRuntime:
             rng=np.random.default_rng(unit.seed),
             overhead_model=self._overhead_model,
             vectorize=vectorize,
+            backend=backend,
         )
         return manager.name, outcomes
 

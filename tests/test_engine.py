@@ -13,12 +13,18 @@ import pytest
 
 from repro.api.registry import BuildContext, available_managers, build_manager
 from repro.core import (
+    BackendError,
     EngineError,
     ParameterizedSystem,
+    QualityManager,
     QualityManagerCompiler,
     QualitySet,
+    available_backends,
+    backend_available,
     compile_decision_kernel,
     compute_td_table,
+    get_backend,
+    registered_backends,
     run_cycle,
     run_cycles_batch,
     run_cycles_vectorized,
@@ -85,16 +91,59 @@ def _overhead_models():
     return [None, LinearOverheadModel(IPOD_LIKE), NullOverheadModel(), PureCharge()]
 
 
+# every registered manager lowers to exactly one kernel-spec primitive
+_EXPECTED_OPS = {
+    "average-only": "lookup",
+    "constant": "constant",
+    "dvfs": "relaxation",
+    "elastic": "lookup",
+    "feedback": "feedback",
+    "linear-approx": "affine",
+    "multitask": "relaxation",
+    "numeric": "lookup",
+    "region": "lookup",
+    "relaxation": "relaxation",
+    "safe-only": "lookup",
+    "skip": "skip",
+}
+
+
 class TestParityGrid:
+    @pytest.mark.parametrize("backend", [None, "numba"])
     @pytest.mark.parametrize("key", available_managers())
     @pytest.mark.parametrize("model_index", range(4))
-    def test_every_registered_manager_is_bit_identical(self, setup, key, model_index):
+    def test_every_registered_manager_is_bit_identical(
+        self, setup, key, model_index, backend
+    ):
         """Vectorised (or fallen-back) outcomes equal the scalar loop exactly."""
+        if backend is not None and not backend_available(backend):
+            pytest.skip(f"backend {backend!r} not installed")
         system, _, context = setup
         model = _overhead_models()[model_index]
         manager = build_manager(key, context)
         rng = np.random.default_rng(17)
         scenarios = system.draw_scenarios(6, rng)
+        manager.reset()
+        scalar = [
+            run_cycle(system, manager, scenario=s, overhead_model=model)
+            for s in scenarios
+        ]
+        batch = run_cycles_batch(
+            system, manager, scenarios=scenarios, overhead_model=model, backend=backend
+        )
+        assert_outcomes_identical(scalar, batch)
+
+    @pytest.mark.parametrize(
+        "key", ("numeric", "skip", "feedback", "elastic", "dvfs", "multitask", "linear-approx")
+    )
+    def test_new_manager_kernels_handle_tight_deadlines(self, key):
+        """Late/degenerate states drive every kernel's fallback branch."""
+        system = make_synthetic_system(n_actions=25, n_levels=4, seed=2)
+        deadlines = make_deadline(system, slack=0.55)
+        context = BuildContext.create(system, deadlines, require_feasible=False)
+        model = LinearOverheadModel(IPOD_LIKE)
+        manager = build_manager(key, context)
+        scenarios = system.draw_scenarios(10, np.random.default_rng(4))
         manager.reset()
         scalar = [
             run_cycle(system, manager, scenario=s, overhead_model=model)
@@ -164,18 +213,73 @@ class TestParityGrid:
 
 
 class TestKernelCompilation:
-    def test_table_driven_managers_have_kernels(self, setup):
+    def test_every_registered_manager_lowers_to_a_kernel(self, setup):
+        """The whole registry speaks the "tables in, kernel out" protocol."""
         _, _, context = setup
-        for key in ("constant", "region", "relaxation"):
+        assert set(_EXPECTED_OPS) == set(available_managers())
+        for key, op in _EXPECTED_OPS.items():
             manager = build_manager(key, context)
-            assert supports_vectorized(manager)
-            assert compile_decision_kernel(manager) is not None
+            spec = manager.lower()
+            assert spec is not None, key
+            assert spec.op == op, key
+            assert supports_vectorized(manager), key
+            assert compile_decision_kernel(manager) is not None, key
 
-    def test_numeric_and_adaptive_managers_fall_back(self, setup):
-        _, _, context = setup
-        for key in ("numeric", "feedback", "elastic", "skip", "dvfs", "linear-approx"):
-            manager = build_manager(key, context)
-            assert not supports_vectorized(manager)
+    def test_manager_without_lowering_falls_back(self, setup):
+        """A decide()-only subclass has no spec and runs through the scalar loop."""
+        system, _, context = setup
+
+        class OpaqueManager(QualityManager):
+            name = "opaque"
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            @property
+            def qualities(self):
+                return self._inner.qualities
+
+            def decide(self, state_index, time):
+                return self._inner.decide(state_index, time)
+
+            def memory_footprint(self):
+                return self._inner.memory_footprint()
+
+        manager = OpaqueManager(build_manager("region", context))
+        assert manager.lower() is None
+        assert not supports_vectorized(manager)
+        scenarios = system.draw_scenarios(4, np.random.default_rng(1))
+        scalar = [
+            run_cycle(system, build_manager("region", context), scenario=s)
+            for s in scenarios
+        ]
+        batch = run_cycles_batch(system, manager, scenarios=scenarios)
+        assert_outcomes_identical(scalar, batch)
+
+    def test_scalar_fallback_counter_emitted(self, setup, tmp_path, monkeypatch):
+        """run_cycles_batch labels scalar fallbacks with the manager class."""
+        from repro.obs import metrics, reset_enabled
+
+        system, _, context = setup
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path / "telemetry"))
+        reset_enabled()
+        metrics.registry().reset()
+        try:
+            manager = build_manager("region", context)
+            scenarios = system.draw_scenarios(2, np.random.default_rng(0))
+            run_cycles_batch(
+                system, manager, scenarios=scenarios, overhead_model=StatefulCharge()
+            )
+            run_cycles_batch(system, manager, scenarios=scenarios)
+            snap = metrics.registry().snapshot()["metrics"]
+            fallback = snap["engine.scalar_fallback.RegionQualityManager"]
+            assert fallback == {"kind": "counter", "value": 1}
+            assert "engine.batches.scalar.RegionQualityManager" in snap
+            assert "engine.batches.vectorized.RegionQualityManager" in snap
+        finally:
+            reset_enabled()
+            metrics.registry().reset()
 
     def test_stateful_overhead_model_disables_kernels(self, setup):
         system, _, context = setup
@@ -196,11 +300,18 @@ class TestKernelCompilation:
         assert batch_model.calls == scalar_model.calls
 
     def test_vectorize_always_raises_without_kernel(self, setup):
+        # every registered manager lowers now, so the kernel-less path needs a
+        # non-vectorisable overhead model
         system, _, context = setup
         manager = build_manager("numeric", context)
         with pytest.raises(EngineError):
             run_cycles_batch(
-                system, manager, 2, rng=np.random.default_rng(0), vectorize="always"
+                system,
+                manager,
+                2,
+                rng=np.random.default_rng(0),
+                overhead_model=StatefulCharge(),
+                vectorize="always",
             )
 
     def test_vectorize_never_forces_scalar(self, setup):
@@ -272,6 +383,56 @@ class TestKernelCompilation:
                 split["seconds"]
             )
         assert vector_model.total_seconds == pytest.approx(scalar_model.total_seconds)
+
+
+class TestBackends:
+    def test_registry_names_numpy_and_numba(self):
+        assert "numpy" in registered_backends()
+        assert "numba" in registered_backends()
+        # numpy ships with the package, so it is always available
+        assert "numpy" in available_backends()
+        assert backend_available("numpy")
+
+    def test_default_backend_is_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert get_backend().name == "numpy"
+
+    def test_env_variable_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert get_backend().name == "numpy"
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        with pytest.raises(BackendError, match="bogus"):
+            get_backend()
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(BackendError, match="registered"):
+            get_backend("cupy")
+
+    def test_unavailable_backend_raises(self):
+        if backend_available("numba"):
+            pytest.skip("numba is installed here")
+        with pytest.raises(BackendError, match="not available"):
+            get_backend("numba")
+
+    def test_explicit_backend_request_is_not_silently_substituted(self, setup):
+        if backend_available("numba"):
+            pytest.skip("numba is installed here")
+        system, _, context = setup
+        manager = build_manager("region", context)
+        with pytest.raises(BackendError):
+            run_cycles_batch(
+                system, manager, 2, rng=np.random.default_rng(0), backend="numba"
+            )
+
+    def test_explicit_numpy_backend_is_bit_identical(self, setup):
+        system, _, context = setup
+        manager = build_manager("relaxation", context)
+        scenarios = system.draw_scenarios(5, np.random.default_rng(6))
+        default = run_cycles_batch(system, manager, scenarios=scenarios)
+        explicit = run_cycles_batch(
+            system, manager, scenarios=scenarios, backend="numpy"
+        )
+        assert_outcomes_identical(default, explicit)
 
 
 class TestBatchedDraws:
@@ -403,6 +564,21 @@ class TestSessionWiring:
         with pytest.raises(ValueError):
             self._session().vectorize("sometimes")
 
+    def test_backend_builder_validates_eagerly(self):
+        with pytest.raises(BackendError):
+            self._session().backend("bogus")
+        with pytest.raises(BackendError):
+            self._session().manager("region").run(cycles=2, backend="bogus")
+
+    def test_backend_setting_is_bit_identical(self):
+        default = self._session().manager("relaxation").run(cycles=4)
+        explicit = (
+            self._session().manager("relaxation").backend("numpy").run(cycles=4)
+        )
+        override = self._session().manager("relaxation").run(cycles=4, backend="numpy")
+        assert_outcomes_identical(default.outcomes, explicit.outcomes)
+        assert_outcomes_identical(default.outcomes, override.outcomes)
+
     def test_parallel_pool_carries_the_engine_setting(self, tmp_path):
         from repro.api import Session
         from repro.media import small_encoder
@@ -424,7 +600,12 @@ class TestSessionWiring:
             assert_outcomes_identical(serial[label].outcomes, pooled[label].outcomes)
 
     def test_pool_honours_per_call_vectorize_override(self, tmp_path):
-        """vectorize='always' reaches the workers: a kernel-less manager fails."""
+        """vectorize='always' reaches the workers: a kernel-less unit fails.
+
+        Every registered manager lowers to a kernel now, so the kernel-less
+        path needs a stateful (non-vectorisable) overhead model shipped
+        through the payload.
+        """
         from repro.api import Session
         from repro.media import small_encoder
         from repro.runtime.pool import SweepExecutionError
@@ -434,10 +615,59 @@ class TestSessionWiring:
             .system(small_encoder(seed=0, n_frames=3))
             .seed(1)
             .manager("numeric")
+            .overhead(StatefulCharge())
             .artifacts(tmp_path / "artifacts")
         )
         with pytest.raises(SweepExecutionError):
             session.run_many([1], parallel=True, workers=1, vectorize="always")
+
+    def test_pool_mixed_manager_sweep_bit_identical(self, tmp_path):
+        """A sweep mixing all the newly lowered managers survives the pool."""
+        from repro.api import Session
+        from repro.media import small_encoder
+
+        specs = ["numeric", "skip", "feedback", "elastic", "linear-approx", "dvfs"]
+
+        def session() -> Session:
+            return (
+                Session()
+                .system(small_encoder(seed=0, n_frames=4))
+                .machine("ipod")
+                .seed(3)
+                .manager("relaxation")
+                .artifacts(tmp_path / "artifacts")
+            )
+
+        serial = session().run_many(specs)
+        pooled = session().run_many(specs, parallel=True, workers=2)
+        assert serial.labels == pooled.labels
+        for label in serial.labels:
+            assert_outcomes_identical(serial[label].outcomes, pooled[label].outcomes)
+
+    def test_spool_mixed_manager_sweep_bit_identical(self, tmp_path):
+        """The same mixed-manager sweep is bit-identical over a spool worker."""
+        from repro.api import Session
+        from repro.media import small_encoder
+
+        specs = ["numeric", "skip", "feedback", "elastic"]
+
+        def session() -> Session:
+            return (
+                Session()
+                .system(small_encoder(seed=0, n_frames=3))
+                .machine("ipod")
+                .seed(5)
+                .manager("relaxation")
+                .artifacts(tmp_path / "artifacts")
+            )
+
+        serial = session().run_many(specs)
+        spooled = session().remote(
+            tmp_path / "spool", poll_interval=0.02, timeout=120.0, local_workers=1
+        ).run_many(specs)
+        assert serial.labels == spooled.labels
+        for label in serial.labels:
+            assert_outcomes_identical(serial[label].outcomes, spooled[label].outcomes)
 
 
 class TestControlledSystemWiring:
