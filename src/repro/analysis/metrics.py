@@ -13,8 +13,8 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.deadlines import DeadlineFunction
+from repro.core.streaming import StreamingMetrics
 from repro.core.system import CycleOutcome
-from repro.core.validation import audit_trace
 
 __all__ = ["QualityMetrics", "compute_metrics", "smoothness_index", "compare_outcomes"]
 
@@ -72,36 +72,19 @@ def compute_metrics(
     outcomes: Iterable[CycleOutcome],
     deadlines: DeadlineFunction,
 ) -> QualityMetrics:
-    """Aggregate metrics over a collection of cycle traces."""
-    outcomes = list(outcomes)
-    if not outcomes:
-        raise ValueError("compute_metrics needs at least one cycle outcome")
-    all_qualities = np.concatenate([o.qualities for o in outcomes])
-    smooth = float(np.mean([smoothness_index(o.qualities) for o in outcomes]))
-    total_time = float(sum(o.makespan for o in outcomes))
-    total_overhead = float(sum(o.total_overhead for o in outcomes))
-    misses = 0
-    worst_lateness = 0.0
+    """Aggregate metrics over a collection of cycle traces.
+
+    Delegates to the streaming accumulator
+    (:class:`~repro.core.streaming.StreamingMetrics`), so the materialised
+    and chunked-streaming execution paths share one fold and their metrics
+    are bit-identical by construction.
+    """
+    accumulator = StreamingMetrics(deadlines)
     for outcome in outcomes:
-        audit = audit_trace(outcome, deadlines)
-        misses += len(audit.violations)
-        worst_lateness = max(worst_lateness, audit.worst_lateness)
-    budget = deadlines.final_deadline * len(outcomes)
-    return QualityMetrics(
-        n_cycles=len(outcomes),
-        n_actions=outcomes[0].n_actions,
-        mean_quality=float(all_qualities.mean()),
-        std_quality=float(all_qualities.std()),
-        min_quality=int(all_qualities.min()),
-        max_quality=int(all_qualities.max()),
-        smoothness=smooth,
-        utilisation=total_time / budget if budget > 0 else 0.0,
-        deadline_misses=misses,
-        worst_lateness=worst_lateness,
-        overhead_seconds=total_overhead,
-        overhead_fraction=total_overhead / total_time if total_time > 0 else 0.0,
-        manager_calls=int(sum(o.manager_invocations.shape[0] for o in outcomes)),
-    )
+        accumulator.update_outcome(outcome)
+    if not accumulator.n_cycles:
+        raise ValueError("compute_metrics needs at least one cycle outcome")
+    return accumulator.metrics()
 
 
 def compare_outcomes(

@@ -5,6 +5,13 @@ A :class:`RunResult` aggregates the cycle traces of one manager; a
 identical scenarios, or a scenario sweep).  Metric aggregation delegates to
 :mod:`repro.analysis.metrics` and is computed lazily — building a result is
 free, so the facade adds no work to the execution hot path.
+
+A chunk-streamed run (``Session.run(..., chunk_size=...)``) produces a
+*summary-only* result: ``outcomes`` is empty and ``summary`` holds the
+:class:`~repro.core.streaming.StreamingMetrics` accumulator instead.  Its
+:attr:`RunResult.metrics` are bit-identical to the materialised path;
+per-cycle accessors (:attr:`RunResult.mean_quality_per_cycle`,
+:attr:`RunResult.quality_values`) are unavailable and raise.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import numpy as np
 from repro.analysis.metrics import QualityMetrics, compute_metrics
 from repro.analysis.reports import metrics_report
 from repro.core.deadlines import DeadlineFunction
+from repro.core.streaming import StreamingMetrics
 from repro.core.system import CycleOutcome
 
 __all__ = ["RunResult", "BatchResult"]
@@ -33,29 +41,54 @@ class RunResult:
     deadlines: DeadlineFunction
     seed: int | None = None
     machine_name: str | None = None
+    summary: StreamingMetrics | None = None
+
+    @property
+    def is_summary(self) -> bool:
+        """True for a chunk-streamed run carrying only the stream summary."""
+        return self.summary is not None and not self.outcomes
+
+    def _require_outcomes(self, what: str) -> None:
+        if self.is_summary:
+            raise ValueError(
+                f"{what} needs per-cycle traces, but this is a summary-only "
+                "streamed result; rerun without chunk_size to materialise "
+                "the outcomes"
+            )
 
     @property
     def n_cycles(self) -> int:
         """Number of executed cycles."""
+        if self.is_summary:
+            return self.summary.n_cycles
         return len(self.outcomes)
 
     @cached_property
     def metrics(self) -> QualityMetrics:
         """Safety/optimality/smoothness/overhead aggregates (computed once)."""
+        if self.is_summary:
+            return self.summary.metrics()
         return compute_metrics(self.outcomes, self.deadlines)
 
     @cached_property
     def mean_quality_per_cycle(self) -> np.ndarray:
         """Average quality of each cycle (the Figure 7 series)."""
+        self._require_outcomes("mean_quality_per_cycle")
         return np.array([outcome.mean_quality for outcome in self.outcomes])
+
+    @cached_property
+    def quality_values(self) -> np.ndarray:
+        """All chosen quality levels, one concatenated array (computed once)."""
+        self._require_outcomes("quality_values")
+        parts = [outcome.qualities for outcome in self.outcomes]
+        return np.concatenate(parts if parts else [np.empty(0, dtype=np.int64)])
 
     @cached_property
     def quality_histogram(self) -> dict[int, int]:
         """Action counts per chosen quality level, over all cycles."""
-        if not self.outcomes:
-            return {}
-        qualities = np.concatenate([outcome.qualities for outcome in self.outcomes])
-        levels, counts = np.unique(qualities, return_counts=True)
+        if self.summary is not None:
+            return self.summary.quality_level_counts
+        levels, counts = np.unique(self.quality_values, return_counts=True)
         return {int(level): int(count) for level, count in zip(levels, counts)}
 
     @property

@@ -84,6 +84,7 @@ from repro.core.engine import coerce_vectorize_mode, run_cycles_batch
 from repro.core.manager import QualityManager
 from repro.core.policy import AveragePolicy, MixedPolicy, QualityManagementPolicy, SafePolicy
 from repro.core.relaxation import DEFAULT_RELAXATION_STEPS
+from repro.core.streaming import StreamingMetrics, run_cycles_streamed
 from repro.core.system import CycleOutcome, ParameterizedSystem
 from repro.core.timing import ActualTimeScenario, ScenarioBatch, supports_replay
 
@@ -95,6 +96,39 @@ __all__ = ["Session", "SessionError", "ScenarioSpec", "resolve_overhead_model"]
 
 class SessionError(ValueError):
     """Invalid or incomplete session configuration."""
+
+
+#: per-call ``chunk_size=`` default: distinguishes "not given" (fall back to
+#: the builder setting / ``$REPRO_CHUNK``) from an explicit ``None`` (force
+#: the materialised path for this call)
+_UNSET: Any = object()
+
+
+def _coerce_chunk_size(value: Any) -> int | None:
+    """Validate a streaming chunk size: ``None`` or a positive integer."""
+    if value is None:
+        return None
+    try:
+        chunk = int(value)
+    except (TypeError, ValueError):
+        raise SessionError(
+            f"chunk_size must be a positive integer or None, got {value!r}"
+        ) from None
+    if chunk < 1:
+        raise SessionError(f"chunk_size must be >= 1, got {value!r}")
+    return chunk
+
+
+def _result_fields(tail: Any) -> dict[str, Any]:
+    """The RunResult outcome fields a worker tail implies.
+
+    Streamed units return a :class:`~repro.core.streaming.StreamingMetrics`
+    summary instead of a tuple of cycle traces; either shape lands in the
+    right :class:`~repro.api.results.RunResult` field here.
+    """
+    if isinstance(tail, StreamingMetrics):
+        return {"outcomes": (), "summary": tail}
+    return {"outcomes": tail}
 
 
 def resolve_overhead_model(machine: Any, overhead: Any) -> OverheadModelProtocol | None:
@@ -206,6 +240,7 @@ class Session:
         self._service: dict[str, Any] | None = None
         self._vectorize: str = "auto"
         self._backend: str | None = None
+        self._chunk_size: int | None = None
 
     # ------------------------------------------------------------------ #
     # fluent configuration (each setter validates eagerly, returns self)
@@ -455,6 +490,42 @@ class Session:
 
         get_backend(str(override))
         return str(override)
+
+    def chunk_size(self, cycles: int | None) -> "Session":
+        """Stream executions in fixed-size chunks of ``cycles`` each.
+
+        With a chunk size the run layer never materialises the full scenario
+        tensor or a per-cycle outcome list: scenarios are drawn (or sliced)
+        ``cycles`` at a time and folded into a mergeable
+        :class:`~repro.core.streaming.StreamingMetrics` accumulator — peak
+        memory is bounded by one chunk whatever the cycle count, and the
+        resulting metrics are bit-identical to the materialised path at any
+        chunk size.  The :class:`~repro.api.results.RunResult` is then
+        *summary-only*: per-cycle accessors such as
+        ``mean_quality_per_cycle`` raise.  ``None`` (the default) restores
+        materialised execution.  The per-call ``chunk_size=`` keyword on the
+        run methods overrides this setting (an explicit per-call ``None``
+        forces the materialised path even under ``$REPRO_CHUNK``); without
+        either, ``$REPRO_CHUNK`` supplies a process-wide default.
+
+        Not to be confused with :meth:`parallel`'s ``chunk_size`` (sweep
+        units shipped per pool task) — this one counts *cycles per execution
+        chunk* and composes with every transport: pool, spool and service
+        workers all run streamed and ship summaries back.
+        """
+        self._chunk_size = _coerce_chunk_size(cycles)
+        return self
+
+    def _effective_chunk_size(self, override: Any) -> int | None:
+        """Resolve the streaming chunk size: per-call > builder > env."""
+        if override is not _UNSET:
+            return _coerce_chunk_size(override)
+        if self._chunk_size is not None:
+            return self._chunk_size
+        env = os.environ.get("REPRO_CHUNK")
+        if env:
+            return _coerce_chunk_size(env)
+        return None
 
     def parallel(
         self,
@@ -827,31 +898,52 @@ class Session:
         scenarios: ScenarioBatch | Sequence[ActualTimeScenario] | None = None,
         vectorize: Any = None,
         backend: Any = None,
+        chunk_size: Any = _UNSET,
     ) -> RunResult:
         """Execute N cycles with the selected manager and collect the result.
 
         ``vectorize`` overrides the :meth:`vectorize` builder setting for
         this run; ``backend`` overrides the :meth:`backend` builder setting
-        (kernel compute backend, e.g. ``"numpy"``).  Results are
-        bit-identical across engines and backends for fixed seeds.
+        (kernel compute backend, e.g. ``"numpy"``).  ``chunk_size`` overrides
+        the :meth:`chunk_size` builder setting: an integer streams the run in
+        constant memory and returns a summary-only result, an explicit
+        ``None`` forces the materialised path.  Results are bit-identical
+        across engines, backends and chunk sizes for fixed seeds.
         """
         n_cycles = self._default_cycles if cycles is None else int(cycles)
         used_seed = self._seed if seed is None else int(seed)
         self._check_run_args(n_cycles, scenarios)  # before any compilation
+        chunk = self._effective_chunk_size(chunk_size)
+        summary: StreamingMetrics | None = None
         with obs_trace.span("session.run", manager=self._spec.key, cycles=n_cycles):
             with obs_trace.span("session.compile"):
                 manager = self.build()
             with obs_trace.span("session.execute"):
-                outcomes = run_cycles_batch(
-                    self._execution_system(),
-                    manager,
-                    n_cycles,
-                    scenarios=scenarios,
-                    rng=np.random.default_rng(used_seed),
-                    overhead_model=self._resolve_overhead_model(),
-                    vectorize=self._effective_vectorize(vectorize),
-                    backend=self._effective_backend(backend),
-                )
+                if chunk is not None:
+                    outcomes: tuple[CycleOutcome, ...] = ()
+                    summary = run_cycles_streamed(
+                        self._execution_system(),
+                        manager,
+                        n_cycles,
+                        deadlines=self.resolved_deadlines(),
+                        chunk_size=chunk,
+                        scenarios=scenarios,
+                        rng=np.random.default_rng(used_seed),
+                        overhead_model=self._resolve_overhead_model(),
+                        vectorize=self._effective_vectorize(vectorize),
+                        backend=self._effective_backend(backend),
+                    )
+                else:
+                    outcomes = run_cycles_batch(
+                        self._execution_system(),
+                        manager,
+                        n_cycles,
+                        scenarios=scenarios,
+                        rng=np.random.default_rng(used_seed),
+                        overhead_model=self._resolve_overhead_model(),
+                        vectorize=self._effective_vectorize(vectorize),
+                        backend=self._effective_backend(backend),
+                    )
         obs_export.flush()
         return RunResult(
             manager_key=self._spec.key,
@@ -860,6 +952,7 @@ class Session:
             deadlines=self.resolved_deadlines(),
             seed=used_seed,
             machine_name=self._machine.name if self._machine is not None else None,
+            summary=summary,
         )
 
     def compare(
@@ -874,6 +967,7 @@ class Session:
         backend: Any = None,
         scenario_transport: str | None = None,
         stream: bool = False,
+        chunk_size: Any = _UNSET,
     ) -> BatchResult | Iterator[tuple[str, RunResult]]:
         """Run several managers on *identical* per-cycle scenarios.
 
@@ -901,6 +995,10 @@ class Session:
         — completion order, not spec order.  Failed units raise a collective
         :class:`~repro.runtime.pool.SweepExecutionError` after the stream
         drains.
+
+        ``chunk_size`` (per-call override of :meth:`chunk_size`) streams
+        every manager's run in constant memory; the compared results are
+        summary-only, with metrics bit-identical to the materialised path.
         """
         from repro.runtime.plan import unique_label
 
@@ -920,6 +1018,7 @@ class Session:
 
         mode = self._effective_vectorize(vectorize)
         chosen_backend = self._effective_backend(backend)
+        chunk = self._effective_chunk_size(chunk_size)
         pool_config = self._pool_config(parallel, workers)
         self._check_stream(stream, pool_config)
         use_pool = pool_config is not None and n_cycles > 0
@@ -945,6 +1044,7 @@ class Session:
                     mode,
                     stream,
                     backend=chosen_backend,
+                    chunk_size=chunk,
                 )
         with obs_trace.span("session.draw", cycles=n_cycles):
             scenarios = system.draw_scenarios(
@@ -960,6 +1060,7 @@ class Session:
                 mode,
                 stream,
                 backend=chosen_backend,
+                chunk_size=chunk,
             )
 
         context = self.build_context()
@@ -968,22 +1069,34 @@ class Session:
         for index, spec in enumerate(chosen):
             manager = build_manager(spec, context)
             with obs_trace.span("session.execute", manager=str(spec)):
-                outcomes = run_cycles_batch(
-                    system,
-                    manager,
-                    scenarios=scenarios,
-                    overhead_model=overhead_model,
-                    vectorize=mode,
-                    backend=chosen_backend,
-                )
+                if chunk is not None:
+                    tail: Any = run_cycles_streamed(
+                        system,
+                        manager,
+                        scenarios=scenarios,
+                        deadlines=deadlines,
+                        chunk_size=chunk,
+                        overhead_model=overhead_model,
+                        vectorize=mode,
+                        backend=chosen_backend,
+                    )
+                else:
+                    tail = run_cycles_batch(
+                        system,
+                        manager,
+                        scenarios=scenarios,
+                        overhead_model=overhead_model,
+                        vectorize=mode,
+                        backend=chosen_backend,
+                    )
             label = unique_label(runs, manager.name, index)
             runs[label] = RunResult(
                 manager_key=spec.key,
                 manager_name=manager.name,
-                outcomes=outcomes,
                 deadlines=deadlines,
                 seed=used_seed,
                 machine_name=machine_name,
+                **_result_fields(tail),
             )
             if progress is not None:
                 # the spec string, exactly what the parallel path reports
@@ -1007,6 +1120,7 @@ class Session:
         backend: Any = None,
         scenario_transport: str | None = None,
         stream: bool = False,
+        chunk_size: Any = _UNSET,
     ) -> BatchResult | Iterator[tuple[str, RunResult]]:
         """Run a batch of scenario specs and collect every result.
 
@@ -1040,6 +1154,12 @@ class Session:
         workers finish (completion order).  Failed units raise a collective
         :class:`~repro.runtime.pool.SweepExecutionError` after the stream
         drains.
+
+        ``chunk_size`` (per-call override of :meth:`chunk_size`) streams
+        every scenario's run in constant memory — serial or parallel, the
+        workers fold chunks into accumulators and ship summaries back; the
+        results are summary-only, with metrics bit-identical to the
+        materialised path.
         """
         from repro.runtime.plan import unique_label
 
@@ -1047,6 +1167,7 @@ class Session:
         entries = self._coerce_run_many_entries(scenarios)
         mode = self._effective_vectorize(vectorize)
         chosen_backend = self._effective_backend(backend)
+        chunk = self._effective_chunk_size(chunk_size)
         pool_config = self._pool_config(parallel, workers)
         self._check_stream(stream, pool_config)
         if pool_config is not None and entries:
@@ -1058,6 +1179,7 @@ class Session:
                 scenario_transport,
                 stream,
                 backend=chosen_backend,
+                chunk_size=chunk,
             )
 
         context = self.build_context()
@@ -1069,23 +1191,36 @@ class Session:
         for index, (label, manager_spec, n_cycles, used_seed) in enumerate(entries):
             manager = build_manager(manager_spec, context)
             with obs_trace.span("session.execute", label=label, manager=manager_spec.key):
-                outcomes = run_cycles_batch(
-                    system,
-                    manager,
-                    n_cycles,
-                    rng=np.random.default_rng(used_seed),
-                    overhead_model=overhead_model,
-                    vectorize=mode,
-                    backend=chosen_backend,
-                )
+                if chunk is not None:
+                    tail: Any = run_cycles_streamed(
+                        system,
+                        manager,
+                        n_cycles,
+                        deadlines=deadlines,
+                        chunk_size=chunk,
+                        rng=np.random.default_rng(used_seed),
+                        overhead_model=overhead_model,
+                        vectorize=mode,
+                        backend=chosen_backend,
+                    )
+                else:
+                    tail = run_cycles_batch(
+                        system,
+                        manager,
+                        n_cycles,
+                        rng=np.random.default_rng(used_seed),
+                        overhead_model=overhead_model,
+                        vectorize=mode,
+                        backend=chosen_backend,
+                    )
             final_label = unique_label(runs, label, index)
             runs[final_label] = RunResult(
                 manager_key=manager_spec.key,
                 manager_name=manager.name,
-                outcomes=outcomes,
                 deadlines=deadlines,
                 seed=used_seed,
                 machine_name=machine_name,
+                **_result_fields(tail),
             )
             if progress is not None:
                 progress(index + 1, len(entries), final_label)
@@ -1147,6 +1282,7 @@ class Session:
         scenarios: Iterable[ScenarioSpec | dict | str | int | ManagerSpec],
         *,
         scenario_transport: str | None = None,
+        chunk_size: Any = _UNSET,
     ) -> Any:
         """Build (but do not run) the :class:`~repro.runtime.plan.SweepPlan`
         a :meth:`run_many` call would execute.
@@ -1162,6 +1298,9 @@ class Session:
         session's scenario sampler untouched.  ``"value"`` pre-draws every
         unit's batch here — *advancing* the session sampler exactly as the
         serial draw order would — and ships the tensors in the units.
+        ``chunk_size`` (per-call override of :meth:`chunk_size`) marks the
+        plan for streamed execution: workers fold chunks into accumulators
+        and the spooled results are summary-only.
         """
         from repro.runtime.plan import plan_run_many
 
@@ -1169,7 +1308,9 @@ class Session:
         entries = self._coerce_run_many_entries(scenarios)
         cache = self._parallel_artifact_cache()
         self._prepare_parallel_cache(cache, [spec for _, spec, _, _ in entries])
-        payload = self._execution_payload(cache)
+        payload = self._execution_payload(
+            cache, chunk_size=self._effective_chunk_size(chunk_size)
+        )
         sampler = payload.system.timing.scenario_sampler
         track = supports_replay(sampler)
         batches = None
@@ -1369,6 +1510,7 @@ class Session:
         cache: Any,
         vectorize: str | None = None,
         backend: str | None = None,
+        chunk_size: int | None = None,
     ) -> Any:
         from repro.runtime.plan import ExecutionPayload
 
@@ -1383,6 +1525,7 @@ class Session:
             cache_dir=str(cache.root) if cache is not None else None,
             vectorize=self._vectorize if vectorize is None else vectorize,
             backend=self._backend if backend is None else backend,
+            chunk_size=chunk_size,
         )
 
     def _executor_for(self, config: dict[str, Any]):
@@ -1516,6 +1659,7 @@ class Session:
         scenario_transport: str | None = None,
         stream: bool = False,
         backend: str | None = None,
+        chunk_size: int | None = None,
     ) -> BatchResult | Iterator[tuple[str, RunResult]]:
         from repro.runtime.plan import plan_run_many
 
@@ -1523,7 +1667,7 @@ class Session:
             with obs_trace.span("session.plan"):
                 cache = self._parallel_artifact_cache()
                 self._prepare_parallel_cache(cache, [spec for _, spec, _, _ in entries])
-                payload = self._execution_payload(cache, vectorize, backend)
+                payload = self._execution_payload(cache, vectorize, backend, chunk_size)
                 sampler = payload.system.timing.scenario_sampler
                 track = supports_replay(sampler)
                 batches = None
@@ -1566,10 +1710,10 @@ class Session:
             runs[unit.label] = RunResult(
                 manager_key=unit.manager.key,
                 manager_name=outcome.manager_names[unit.index],
-                outcomes=outcome.outcomes[unit.index],
                 deadlines=deadlines,
                 seed=unit.seed,
                 machine_name=machine_name,
+                **_result_fields(outcome.outcomes[unit.index]),
             )
         return BatchResult(runs=runs)
 
@@ -1583,6 +1727,7 @@ class Session:
         vectorize: str | None = None,
         stream: bool = False,
         backend: str | None = None,
+        chunk_size: int | None = None,
     ) -> BatchResult | Iterator[tuple[str, RunResult]]:
         """Ship-by-value compare: every unit carries the pre-drawn batch tensor."""
         from repro.runtime.plan import plan_compare
@@ -1591,7 +1736,7 @@ class Session:
             with obs_trace.span("session.plan"):
                 cache = self._parallel_artifact_cache()
                 self._prepare_parallel_cache(cache, list(chosen))
-                payload = self._execution_payload(cache, vectorize, backend)
+                payload = self._execution_payload(cache, vectorize, backend, chunk_size)
                 plan = plan_compare(payload, list(chosen), scenarios)
             executor = self._executor_for(config)
             if stream:
@@ -1611,6 +1756,7 @@ class Session:
         vectorize: str | None = None,
         stream: bool = False,
         backend: str | None = None,
+        chunk_size: int | None = None,
     ) -> BatchResult | Iterator[tuple[str, RunResult]]:
         """Re-draw compare: units ship no scenario data, workers re-draw them.
 
@@ -1626,7 +1772,7 @@ class Session:
             with obs_trace.span("session.plan"):
                 cache = self._parallel_artifact_cache()
                 self._prepare_parallel_cache(cache, list(chosen))
-                payload = self._execution_payload(cache, vectorize, backend)
+                payload = self._execution_payload(cache, vectorize, backend, chunk_size)
                 plan = plan_compare_redraw(payload, list(chosen), n_cycles, used_seed)
             executor = self._executor_for(config)
             if stream:
@@ -1693,10 +1839,10 @@ class Session:
                 yield label, RunResult(
                     manager_key=unit.manager.key,
                     manager_name=head,
-                    outcomes=tail,
                     deadlines=deadlines,
                     seed=unit.seed if seed_from_unit else fixed_seed,
                     machine_name=machine_name,
+                    **_result_fields(tail),
                 )
         except GeneratorExit:
             # early break/close: the plan was submitted and partial results
@@ -1739,10 +1885,10 @@ class Session:
             runs[label] = RunResult(
                 manager_key=unit.manager.key,
                 manager_name=name,
-                outcomes=outcome.outcomes[unit.index],
                 deadlines=deadlines,
                 seed=used_seed,
                 machine_name=machine_name,
+                **_result_fields(outcome.outcomes[unit.index]),
             )
         return BatchResult(runs=runs)
 

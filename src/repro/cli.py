@@ -80,7 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "Defaults: --manager relaxation, --cycles 6, --seed 0, the paper's "
             "CIF workload (use --small for QCIF) on the 'ipod' virtual machine, "
-            "and the default kernel backend ($REPRO_BACKEND, else numpy)."
+            "the default kernel backend ($REPRO_BACKEND, else numpy), and "
+            "--chunk-size $REPRO_CHUNK, else off (materialised execution; a "
+            "chunk size streams the run in constant memory and prints "
+            "summary metrics only)."
         ),
     )
     run.add_argument(
@@ -98,6 +101,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="kernel compute backend, e.g. numpy or numba (default: $REPRO_BACKEND, else numpy)",
     )
+    run.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help=(
+            "stream the run in chunks of N cycles (constant memory, summary "
+            "metrics only; default: $REPRO_CHUNK, else materialised)"
+        ),
+    )
 
     compare = commands.add_parser(
         "compare",
@@ -105,8 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             f"Defaults: --managers {_DEFAULT_COMPARE}, --frames 6, --seed 0, the "
             "paper's CIF workload (use --small for QCIF) on the 'ipod' virtual "
-            "machine, and the default kernel backend ($REPRO_BACKEND, else "
-            "numpy); every manager sees identical scenarios."
+            "machine, the default kernel backend ($REPRO_BACKEND, else "
+            "numpy), and --chunk-size $REPRO_CHUNK, else off (materialised); "
+            "every manager sees identical scenarios."
         ),
     )
     compare.add_argument("--frames", type=int, default=6, help="number of frames to encode")
@@ -124,6 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="kernel compute backend, e.g. numpy or numba (default: $REPRO_BACKEND, else numpy)",
     )
+    compare.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help=(
+            "stream every manager's run in chunks of N cycles (summary "
+            "metrics only; default: $REPRO_CHUNK, else materialised)"
+        ),
+    )
 
     sweep = commands.add_parser(
         "sweep",
@@ -135,7 +157,8 @@ def build_parser() -> argparse.ArgumentParser:
             "scenario transport.  --spool fans the grid out over a shared spool "
             "directory instead of the in-process pool (--workers then spawns that "
             "many local spool workers; 0 waits for external 'repro worker' "
-            "processes).  Results are bit-identical to serial either way."
+            "processes).  --chunk-size defaults to $REPRO_CHUNK, else off "
+            "(materialised).  Results are bit-identical to serial either way."
         ),
     )
     sweep.add_argument(
@@ -210,6 +233,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         default=None,
         help="kernel compute backend, e.g. numpy or numba (default: $REPRO_BACKEND, else numpy)",
+    )
+    sweep.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help=(
+            "stream every grid cell in chunks of N cycles — workers fold "
+            "accumulators and ship summaries back (default: $REPRO_CHUNK, "
+            "else materialised)"
+        ),
     )
 
     worker = commands.add_parser(
@@ -389,7 +422,9 @@ def build_parser() -> argparse.ArgumentParser:
             "sweep pool), --vectorize auto, the scenario transport of the "
             "chosen mode (value on the pool, redraw on a spool), no spool "
             "(--spool fans comparisons out over a shared spool; --workers "
-            "then spawns local spool workers).  Artefacts are bit-identical "
+            "then spawns local spool workers), and --chunk-size $REPRO_CHUNK, "
+            "else off (materialised; a chunk size streams the metric-only "
+            "experiments in constant memory).  Artefacts are bit-identical "
             "across all execution modes."
         ),
     )
@@ -437,6 +472,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "overall wall-clock bound in seconds for a --spool run "
             "(default: wait forever; set it when no workers may be attached)"
+        ),
+    )
+    experiments.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help=(
+            "stream the metric-only experiments in chunks of N cycles "
+            "(default: $REPRO_CHUNK, else materialised; the Figure 7 series "
+            "always materialises its per-cycle traces)"
         ),
     )
 
@@ -555,7 +600,12 @@ def _session(seed: int, small: bool, n_frames: int):
 
 
 def _run_run(
-    manager: str, cycles: int, seed: int, small: bool, backend: str | None = None
+    manager: str,
+    cycles: int,
+    seed: int,
+    small: bool,
+    backend: str | None = None,
+    chunk_size: int | None = None,
 ) -> int:
     from repro.analysis import sparkline
 
@@ -563,14 +613,21 @@ def _run_run(
         session = _session(seed, small, cycles).manager(manager)
         if backend is not None:
             session.backend(backend)
+        if chunk_size is not None:
+            session.chunk_size(chunk_size)
         result = session.run(cycles=cycles)
     except ValueError as error:  # RegistryError/SessionError/bad manager params
         print(f"error: {error}")
         return 2
     print(result.render())
-    series = result.mean_quality_per_cycle
-    print("\naverage quality per cycle:")
-    print(f"  {result.manager_name:11s} {sparkline(series, width=40)}  mean {series.mean():.2f}")
+    if result.is_summary:
+        print("\nstreamed run (summary only): no per-cycle series retained")
+    else:
+        series = result.mean_quality_per_cycle
+        print("\naverage quality per cycle:")
+        print(
+            f"  {result.manager_name:11s} {sparkline(series, width=40)}  mean {series.mean():.2f}"
+        )
     print("\nquality histogram (level: actions):")
     for level, count in sorted(result.quality_histogram.items()):
         print(f"  {level}: {count}")
@@ -583,6 +640,7 @@ def _run_compare(
     small: bool,
     managers: str = _DEFAULT_COMPARE,
     backend: str | None = None,
+    chunk_size: int | None = None,
 ) -> int:
     from repro.analysis import memory_report, metrics_report, sparkline
 
@@ -591,6 +649,8 @@ def _run_compare(
         session = _session(seed, small, frames)
         if backend is not None:
             session.backend(backend)
+        if chunk_size is not None:
+            session.chunk_size(chunk_size)
         print(memory_report(session.compile().report))
         print()
         batch = session.compare(*specs, cycles=frames, seed=seed)
@@ -598,6 +658,9 @@ def _run_compare(
         print(f"error: {error}")
         return 2
     print(metrics_report(batch.metrics))
+    if any(run.is_summary for run in batch.runs.values()):
+        print("\nstreamed comparison (summary only): no per-frame series retained")
+        return 0
     print("\naverage quality per frame:")
     for name, run in batch.runs.items():
         series = run.mean_quality_per_cycle
@@ -619,6 +682,7 @@ def _run_sweep(
     lease_timeout: float | None = None,
     timeout: float | None = None,
     backend: str | None = None,
+    chunk_size: int | None = None,
 ) -> int:
     import time
 
@@ -636,6 +700,8 @@ def _run_sweep(
         session = _session(seed, small, cycles)
         if backend is not None:
             session.backend(backend)
+        if chunk_size is not None:
+            session.chunk_size(chunk_size)
         # an explicit opt-out also keeps the *pool* from using its default
         # cache location — workers then compile locally
         session.artifacts(False if no_cache else (cache_dir if cache_dir is not None else True))
@@ -780,6 +846,7 @@ def _run_experiments(
     spool: str | None = None,
     spool_timeout: float | None = None,
     backend: str | None = None,
+    chunk_size: int | None = None,
 ) -> int:
     from repro.experiments import run_all_experiments
 
@@ -793,6 +860,7 @@ def _run_experiments(
             scenario_transport=scenario_transport,
             spool=spool,
             spool_timeout=spool_timeout,
+            chunk_size=chunk_size,
         )
     except (ValueError, RuntimeError) as error:  # bad --workers / sweep failures
         print(f"error: {error}")
@@ -859,6 +927,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.seed,
             arguments.small,
             arguments.backend,
+            arguments.chunk_size,
         )
     if arguments.command == "compare":
         return _run_compare(
@@ -867,6 +936,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.small,
             arguments.managers,
             arguments.backend,
+            arguments.chunk_size,
         )
     if arguments.command == "sweep":
         return _run_sweep(
@@ -883,6 +953,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.lease_timeout,
             arguments.timeout,
             arguments.backend,
+            arguments.chunk_size,
         )
     if arguments.command == "worker":
         return _run_worker(
@@ -909,6 +980,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.spool,
             arguments.timeout,
             arguments.backend,
+            arguments.chunk_size,
         )
     if arguments.command == "diagram":
         return _run_diagram(arguments.seed)

@@ -52,6 +52,7 @@ from .relaxation import (
     RelaxationTable,
 )
 from .speed import SpeedAssessment, SpeedDiagram
+from .streaming import QuantileSketch, StreamingMetrics, run_cycles_streamed
 from .system import CycleOutcome, ParameterizedSystem
 from .tdtable import TDTable, compute_td_table
 from .timing import (
@@ -141,6 +142,10 @@ __all__ = [
     "supports_vectorized",
     "run_cycles_vectorized",
     "run_cycles_batch",
+    # streaming chunked execution
+    "QuantileSketch",
+    "StreamingMetrics",
+    "run_cycles_streamed",
     # kernel specs and compute backends
     "KernelSpec",
     "PRIMITIVE_OPS",

@@ -70,6 +70,7 @@ __all__ = [
     "supports_vectorized",
     "scenarios_vectorizable",
     "run_cycles_vectorized",
+    "run_lockstep_arrays",
     "run_cycles_batch",
 ]
 
@@ -337,6 +338,48 @@ def run_cycles_vectorized(
     if not len(scenarios):
         return ()
     matrices = _scenario_tensor(system, scenarios)
+    qualities, durations, completion, invoked, invocation_overheads = (
+        run_lockstep_arrays(system, manager, kernel, matrices, overhead_model)
+    )
+    n_cycles = matrices.shape[0]
+    n_actions = system.n_actions
+    states = np.arange(n_actions, dtype=np.int64)
+    outcomes = []
+    for c in range(n_cycles):
+        mask = invoked[:, c]
+        outcomes.append(
+            CycleOutcome(
+                qualities=qualities[c],
+                durations=durations[c],
+                completion_times=completion[c],
+                manager_invocations=states[mask],
+                manager_overheads=invocation_overheads[mask, c],
+            )
+        )
+    return tuple(outcomes)
+
+
+def run_lockstep_arrays(
+    system: ParameterizedSystem,
+    manager: QualityManager,
+    kernel: DecisionKernel,
+    matrices: np.ndarray,
+    overhead_model: OverheadModelProtocol | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The lockstep executor over a raw scenario tensor, outcome-free.
+
+    Advances every cycle of ``matrices`` (shape ``(n_cycles, levels,
+    actions)``) one action per iteration and returns the five outcome arrays
+    — ``qualities``/``durations``/``completion`` of shape ``(n_cycles,
+    n_actions)`` plus ``invoked``/``invocation_overheads`` of shape
+    ``(n_actions, n_cycles)`` — without building per-cycle
+    :class:`~repro.core.system.CycleOutcome` objects.
+    :func:`run_cycles_vectorized` wraps the arrays into outcomes; the
+    streaming driver (:mod:`repro.core.streaming`) folds them into an
+    accumulator chunk by chunk instead.  Overhead-model accounting is
+    replayed through ``charge_batch`` before returning, exactly as the
+    materialised path does.
+    """
     n_cycles = matrices.shape[0]
     n_actions = system.n_actions
     level_minimum = system.qualities.minimum
@@ -385,20 +428,7 @@ def run_cycles_vectorized(
                 if count:
                     charge_batch(work, count)
 
-    states = np.arange(n_actions, dtype=np.int64)
-    outcomes = []
-    for c in range(n_cycles):
-        mask = invoked[:, c]
-        outcomes.append(
-            CycleOutcome(
-                qualities=qualities[c],
-                durations=durations[c],
-                completion_times=completion[c],
-                manager_invocations=states[mask],
-                manager_overheads=invocation_overheads[mask, c],
-            )
-        )
-    return tuple(outcomes)
+    return qualities, durations, completion, invoked, invocation_overheads
 
 
 def run_cycles_batch(

@@ -474,7 +474,15 @@ class ScenarioBatch:
         self, index: "int | slice | np.integer"
     ) -> "ActualTimeScenario | ScenarioBatch":
         if isinstance(index, slice):
-            return ScenarioBatch(self._qualities, self._tensor[index])
+            # the parent tensor is frozen on construction, so a slice is
+            # adopted as a zero-copy view: no re-validation, no alias walk,
+            # no defensive copy — the invariant chunked streaming relies on
+            # when it carves a caller-supplied batch into per-chunk slices
+            view = self._tensor[index]
+            batch = ScenarioBatch.__new__(ScenarioBatch)
+            batch._qualities = self._qualities
+            batch._tensor = view
+            return batch
         return ActualTimeScenario(self._qualities, self._tensor[int(index)])
 
     def __iter__(self):

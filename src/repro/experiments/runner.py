@@ -63,6 +63,7 @@ def run_all_experiments(
     scenario_transport: str | None = None,
     spool: str | None = None,
     spool_timeout: float | None = None,
+    chunk_size: int | None = None,
 ) -> ExperimentSuiteResult:
     """Run experiments E1–E5 and return their results.
 
@@ -87,7 +88,10 @@ def run_all_experiments(
     :class:`~repro.core.timing.ScenarioBatch` tensor, ``"redraw"`` ships no
     scenario data and workers re-draw it); ``None`` keeps each mode's
     default — ``"value"`` on the process pool, ``"redraw"`` on a spool.
-    Only meaningful with ``workers``/``spool``.
+    Only meaningful with ``workers``/``spool``.  ``chunk_size`` streams the
+    metric-only comparisons (E2) in constant memory through the chunked
+    engine; the Figure 7 experiment needs per-cycle traces and always forces
+    the materialised path for its own runs.
     """
     if workload is not None:
         wl = workload
@@ -105,6 +109,8 @@ def run_all_experiments(
     session = Session().system(wl).seed(seed).vectorize(vectorize)
     if backend is not None:
         session.backend(backend)
+    if chunk_size is not None:
+        session.chunk_size(chunk_size)
     if spool is not None:
         session.remote(
             spool,
@@ -166,6 +172,15 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="overall bound in seconds for a --spool run (default: wait forever)",
     )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help=(
+            "stream the metric-only experiments in chunks of N cycles "
+            "(default: $REPRO_CHUNK, else materialised)"
+        ),
+    )
     arguments = parser.parse_args(argv)
     result = run_all_experiments(
         fast=arguments.fast,
@@ -176,6 +191,7 @@ def main(argv: list[str] | None = None) -> int:
         scenario_transport=arguments.scenario_transport,
         spool=arguments.spool,
         spool_timeout=arguments.timeout,
+        chunk_size=arguments.chunk_size,
     )
     print(result.render())
     return 0

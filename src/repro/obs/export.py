@@ -223,6 +223,20 @@ def render_report(report: dict) -> str:
         for name, payload in fallbacks:
             manager = name.removeprefix("engine.scalar_fallback.")
             lines.append(f"  {manager:<44} batches={payload.get('value', 0):g}")
+    streaming = dict(metric_items)
+    streamed_cycles = streaming.get("engine.cycles.streamed")
+    if streamed_cycles is not None:
+        # chunked streaming runs: how much went through the constant-memory
+        # path and the largest scenario chunk any run held at once
+        chunks = streaming.get("engine.chunks", {})
+        peak = streaming.get("engine.peak_chunk_bytes", {})
+        lines.append("")
+        lines.append("streaming engine")
+        lines.append(f"  {'cycles streamed':<44} {streamed_cycles.get('value', 0):g}")
+        lines.append(f"  {'chunks executed':<44} {chunks.get('value', 0):g}")
+        lines.append(
+            f"  {'peak chunk tensor':<44} {peak.get('value', 0.0):g} bytes"
+        )
     trees = report["trees"]
     lines.append("")
     lines.append(f"traces ({len(trees)} root span(s), {len(report['spans'])} spans)")

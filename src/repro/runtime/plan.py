@@ -98,7 +98,11 @@ class ExecutionPayload:
     (``"auto"``/``"always"``/``"never"``) and ``backend`` its compute-backend
     choice (``None``: resolve worker-side from ``$REPRO_BACKEND``, else
     numpy), so every worker runs its chunk through the same
-    vectorised-or-scalar path the serial baseline would.
+    vectorised-or-scalar path the serial baseline would.  ``chunk_size``
+    (cycles per streamed execution chunk, *not* the pool's units-per-task
+    chunking) switches workers to the constant-memory streaming engine:
+    units come back as mergeable :class:`~repro.core.streaming.StreamingMetrics`
+    summaries instead of per-cycle outcome tuples.
     """
 
     system: ParameterizedSystem
@@ -111,6 +115,7 @@ class ExecutionPayload:
     cache_dir: str | None = None
     vectorize: str = "auto"
     backend: str | None = None
+    chunk_size: int | None = None
 
 
 @dataclass(frozen=True)

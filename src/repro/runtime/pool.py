@@ -41,6 +41,7 @@ from repro.obs.metrics import registry as obs_registry
 from repro.obs.state import enabled as obs_enabled
 from repro.core.compiler import CompiledControllers, QualityManagerCompiler
 from repro.core.engine import run_cycles_batch
+from repro.core.streaming import run_cycles_streamed
 from repro.core.system import CycleOutcome
 from repro.core.timing import supports_replay
 
@@ -109,6 +110,9 @@ class SweepOutcome:
 
     ``manager_names`` holds each executed manager's reporting name (needed by
     ``compare``, whose final labels are manager names, not spec strings).
+    When the plan's payload carries a streaming ``chunk_size``, each entry of
+    ``outcomes`` is a :class:`~repro.core.streaming.StreamingMetrics` summary
+    instead of a tuple of :class:`~repro.core.system.CycleOutcome` traces.
     """
 
     plan: SweepPlan
@@ -201,8 +205,8 @@ class _WorkerRuntime:
                 f"expects (levels, actions) = {expected}"
             )
 
-    def execute(self, unit: SweepUnit) -> tuple[str, tuple[CycleOutcome, ...]]:
-        """Run one unit and return ``(manager_name, outcomes)``.
+    def execute(self, unit: SweepUnit) -> tuple[str, object]:
+        """Run one unit and return ``(manager_name, outcomes-or-summary)``.
 
         Units run through :func:`~repro.core.engine.run_cycles_batch`: each
         shard executes its chunk vectorised when the unit's manager lowers to
@@ -210,12 +214,31 @@ class _WorkerRuntime:
         cases bit-identical to the serial baseline.  Shipped scenario batches
         are validated against the hydrated system first; draw and re-draw
         units position the sampler stream and draw their own batch.
+
+        With a payload ``chunk_size`` the unit runs through the streaming
+        engine instead: the second element is a
+        :class:`~repro.core.streaming.StreamingMetrics` summary (constant
+        worker memory, a few hundred bytes over the wire) whose metrics are
+        bit-identical to the materialised outcomes.
         """
         manager = build_manager(unit.manager, self._context())
         vectorize = getattr(self._payload, "vectorize", "auto")
         backend = getattr(self._payload, "backend", None)
+        chunk_size = getattr(self._payload, "chunk_size", None)
         if unit.scenarios is not None:
             self._check_unit_scenarios(unit)
+            if chunk_size is not None:
+                summary = run_cycles_streamed(
+                    self._exec_system,
+                    manager,
+                    scenarios=unit.scenarios,
+                    deadlines=self._payload.deadlines,
+                    chunk_size=chunk_size,
+                    overhead_model=self._overhead_model,
+                    vectorize=vectorize,
+                    backend=backend,
+                )
+                return manager.name, summary
             outcomes = run_cycles_batch(
                 self._exec_system,
                 manager,
@@ -231,6 +254,19 @@ class _WorkerRuntime:
             and supports_replay(self._sampler)
         ):
             self._sampler.seek(self._base_cursor + unit.sampler_offset)
+        if chunk_size is not None:
+            summary = run_cycles_streamed(
+                self._exec_system,
+                manager,
+                unit.cycles,
+                deadlines=self._payload.deadlines,
+                chunk_size=chunk_size,
+                rng=np.random.default_rng(unit.seed),
+                overhead_model=self._overhead_model,
+                vectorize=vectorize,
+                backend=backend,
+            )
+            return manager.name, summary
         outcomes = run_cycles_batch(
             self._exec_system,
             manager,
