@@ -41,6 +41,7 @@ from .registry import (
     unregister_manager,
     validate_spec,
 )
+from .fleet import run_fleet
 from .results import BatchResult, RunResult
 from .session import ScenarioSpec, Session, SessionError
 from .shims import (
@@ -68,6 +69,7 @@ __all__ = [
     "Session",
     "SessionError",
     "ScenarioSpec",
+    "run_fleet",
     # results
     "RunResult",
     "BatchResult",

@@ -1277,6 +1277,33 @@ class Session:
             entries.append((spec.resolved_label(index), manager_spec, n_cycles, used_seed))
         return entries
 
+    @staticmethod
+    def fleet(
+        sessions: Any,
+        *,
+        cycles: int | None = None,
+        seed: int | None = None,
+        chunk_size: int | None = None,
+        backend: Any = None,
+    ) -> "BatchResult":
+        """Run many configured sessions as one vectorised fleet.
+
+        ``sessions`` is a mapping of labels to sessions, a sequence of
+        sessions, or a sequence of ``(label, session)`` pairs.  Members
+        whose managers compile to the same kernel shape advance together,
+        one action per NumPy step (:mod:`repro.core.fleet`); each
+        member's summary is bit-identical to calling that session's
+        :meth:`run` alone.  ``seed`` spawns one child seed per member via
+        :class:`numpy.random.SeedSequence`; without it every session
+        keeps its own seed.  Returns a :class:`~repro.api.results.BatchResult`
+        of summary-only results keyed by label.
+        """
+        from .fleet import run_fleet
+
+        return run_fleet(
+            sessions, cycles=cycles, seed=seed, chunk_size=chunk_size, backend=backend
+        )
+
     def sweep_plan(
         self,
         scenarios: Iterable[ScenarioSpec | dict | str | int | ManagerSpec],

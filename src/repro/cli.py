@@ -147,6 +147,46 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    fleet = commands.add_parser(
+        "fleet",
+        help="advance many sessions as one vectorised fleet and print per-session metrics",
+        epilog=(
+            "Defaults: --sessions 16, --managers relaxation,numeric,skip,constant "
+            "(cycled across the fleet), --cycles 6, --seed 0 (one spawned child "
+            "seed per session), the paper's CIF workload (use --small for QCIF) "
+            "on the 'ipod' virtual machine, the default kernel backend "
+            "($REPRO_BACKEND, else numpy), and --chunk-size unset (the fleet "
+            "default lane width per chunk); results are bit-identical to "
+            "running every session alone."
+        ),
+    )
+    fleet.add_argument(
+        "--sessions", type=int, default=16, help="number of sessions in the fleet"
+    )
+    fleet.add_argument(
+        "--managers",
+        default="relaxation,numeric,skip,constant",
+        help="comma-separated registry specs cycled across the fleet (see 'managers')",
+    )
+    fleet.add_argument("--cycles", type=int, default=6, help="cycles per session")
+    fleet.add_argument(
+        "--seed", type=int, default=0, help="base seed (spawns one child seed per session)"
+    )
+    fleet.add_argument(
+        "--small", action="store_true", help="use the QCIF workload instead of the paper's CIF"
+    )
+    fleet.add_argument(
+        "--backend",
+        default=None,
+        help="kernel compute backend, e.g. numpy or numba (default: $REPRO_BACKEND, else numpy)",
+    )
+    fleet.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="lanes per session per chunk (default: the fleet engine's default width)",
+    )
+
     sweep = commands.add_parser(
         "sweep",
         help="run a manager x seed scenario grid (optionally in parallel)",
@@ -668,6 +708,52 @@ def _run_compare(
     return 0
 
 
+def _run_fleet(
+    sessions: int,
+    managers: str,
+    cycles: int,
+    seed: int,
+    small: bool,
+    backend: str | None = None,
+    chunk_size: int | None = None,
+) -> int:
+    import time
+
+    from repro.analysis import metrics_report
+    from repro.api import Session
+
+    specs = [spec.strip() for spec in managers.split(",") if spec.strip()]
+    if sessions < 1:
+        print("error: --sessions must be >= 1")
+        return 2
+    if not specs:
+        print("error: --managers must name at least one registry spec")
+        return 2
+    try:
+        base = _session(seed, small, cycles)
+        if backend is not None:
+            base.backend(backend)
+        members = []
+        for index in range(sessions):
+            spec = specs[index % len(specs)]
+            label = f"s{index:03d}-{spec.split(':', 1)[0]}"
+            members.append((label, base.clone().manager(spec)))
+        start = time.perf_counter()
+        batch = Session.fleet(members, cycles=cycles, seed=seed, chunk_size=chunk_size)
+        elapsed = time.perf_counter() - start
+    except ValueError as error:  # RegistryError/SessionError/bad manager params
+        print(f"error: {error}")
+        return 2
+    print(metrics_report(batch.metrics))
+    total_cycles = batch.total_cycles
+    print(
+        f"\nfleet throughput: {sessions / elapsed:,.1f} sessions/sec "
+        f"({total_cycles / elapsed:,.0f} cycles/sec over "
+        f"{sessions} sessions x {cycles} cycles)"
+    )
+    return 0
+
+
 def _run_sweep(
     managers: str,
     scenarios: int,
@@ -935,6 +1021,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.seed,
             arguments.small,
             arguments.managers,
+            arguments.backend,
+            arguments.chunk_size,
+        )
+    if arguments.command == "fleet":
+        return _run_fleet(
+            arguments.sessions,
+            arguments.managers,
+            arguments.cycles,
+            arguments.seed,
+            arguments.small,
             arguments.backend,
             arguments.chunk_size,
         )

@@ -479,6 +479,15 @@ class ScenarioBatch:
             # no defensive copy — the invariant chunked streaming relies on
             # when it carves a caller-supplied batch into per-chunk slices
             view = self._tensor[index]
+            if view.shape[0] == 0:
+                # an empty sub-batch (``batch[n:n]``, the degenerate case
+                # padding/masking code hits at chunk boundaries) must stand
+                # on its own: a zero-copy view would pin the whole parent
+                # buffer alive through ``.base`` for no data at all
+                view = np.empty(
+                    (0,) + self._tensor.shape[1:], dtype=self._tensor.dtype
+                )
+                view.setflags(write=False)
             batch = ScenarioBatch.__new__(ScenarioBatch)
             batch._qualities = self._qualities
             batch._tensor = view

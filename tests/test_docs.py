@@ -46,6 +46,8 @@ def test_documentation_suite_exists():
         "distributed-sweeps.md",
         "service.md",
         "observability.md",
+        "streaming.md",
+        "fleet.md",
         "reproduction.md",
     } <= names
 
@@ -89,6 +91,8 @@ def test_readme_links_the_docs_suite():
         "docs/distributed-sweeps.md",
         "docs/service.md",
         "docs/observability.md",
+        "docs/streaming.md",
+        "docs/fleet.md",
         "docs/reproduction.md",
     ):
         assert name in markdown, f"README does not cross-link {name}"
@@ -111,7 +115,7 @@ def _subcommands() -> dict:
 
 def test_every_subcommand_epilog_states_defaults():
     subparsers_choices = _subcommands()
-    assert {"info", "managers", "run", "compare", "sweep", "worker",
+    assert {"info", "managers", "run", "compare", "fleet", "sweep", "worker",
             "experiments", "diagram", "service", "obs"} <= set(subparsers_choices)
     for name, sub in subparsers_choices.items():
         assert sub.epilog, f"'repro {name}' has no --help epilog"

@@ -280,3 +280,128 @@ class TestPolicyComparisonProperties:
         safe = run_cycle(system, safe_only_manager(system, deadlines), scenario=scenario)
         assert audit_trace(mixed, deadlines).is_safe
         assert audit_trace(safe, deadlines).is_safe
+
+
+class TestMergeAlgebraProperties:
+    """Merge algebra of the streaming accumulators under fleet orderings.
+
+    Fleet execution interleaves many sessions' folds: bucket order,
+    member order within a bucket and the padded lanes between chunks must
+    never change any single session's summary.  These properties pin the
+    algebra that guarantee rests on.
+    """
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_quantile_sketch_merge_is_permutation_invariant(self, data):
+        """Sketch counts are exact integers, so any merge order (and any
+        grouping) of disjoint batches yields the identical sketch."""
+        from repro.core import QuantileSketch
+
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+        n_parts = data.draw(st.integers(2, 6))
+        parts = [
+            rng.uniform(0.0, 10.0, size=int(rng.integers(0, 40)))
+            for _ in range(n_parts)
+        ]
+        order = data.draw(st.permutations(range(n_parts)))
+
+        def merged(indices):
+            total = QuantileSketch(resolution=64)
+            for index in indices:
+                sketch = QuantileSketch(resolution=64)
+                sketch.add_array(parts[index])
+                total.merge(sketch)
+            return total
+
+        forward = merged(range(n_parts))
+        permuted = merged(order)
+        assert forward.count == permuted.count
+        assert forward._buckets == permuted._buckets
+        assert forward._nonpositive == permuted._nonpositive
+        if forward.count:
+            for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+                assert forward.quantile(q) == permuted.quantile(q)
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_streaming_merge_is_commutative(self, data):
+        """``a.merge(b)`` equals ``b.merge(a)`` bit-for-bit: every float fold
+        is a single commutative addition (or max) at the merge boundary."""
+        from repro.core import StreamingMetrics, run_cycles_batch
+
+        system, deadlines = data.draw(systems_with_deadlines(feasible=True))
+        controllers = QualityManagerCompiler().compile(system, deadlines)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+        outcomes = run_cycles_batch(system, controllers.numeric, 6, rng=rng)
+
+        def accumulate(slice_):
+            acc = StreamingMetrics(deadlines)
+            for outcome in slice_:
+                acc.update_outcome(outcome)
+            return acc
+
+        ab = accumulate(outcomes[:3])
+        ab.merge(accumulate(outcomes[3:]))
+        ba = accumulate(outcomes[3:])
+        ba.merge(accumulate(outcomes[:3]))
+        assert ab.metrics() == ba.metrics()
+        assert ab.quality_level_counts == ba.quality_level_counts
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_zero_cycle_folds_are_identity(self, data):
+        """Padding chunks (zero real cycles) must never move a summary —
+        neither folded as empty arrays nor merged as empty accumulators."""
+        from repro.core import StreamingMetrics, run_cycles_batch
+
+        system, deadlines = data.draw(systems_with_deadlines(feasible=True))
+        controllers = QualityManagerCompiler().compile(system, deadlines)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+        outcomes = run_cycles_batch(system, controllers.numeric, 4, rng=rng)
+        acc = StreamingMetrics(deadlines)
+        for outcome in outcomes:
+            acc.update_outcome(outcome)
+        reference = acc.metrics()
+        n_actions = system.n_actions
+        acc.update_chunk(
+            np.empty((0, n_actions), dtype=np.int64),
+            np.empty((0, n_actions), dtype=np.float64),
+            np.empty((n_actions, 0), dtype=bool),
+            np.empty((n_actions, 0), dtype=np.float64),
+        )
+        acc.merge(StreamingMetrics(deadlines))
+        assert acc.metrics() == reference
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_fleet_member_order_never_changes_a_summary(self, data):
+        """Permuting fleet members (hence bucket layout and padding) leaves
+        every member's own summary bit-identical."""
+        from repro.core.fleet import FleetMember, run_fleet
+
+        system, deadlines = data.draw(systems_with_deadlines(feasible=True))
+        controllers = QualityManagerCompiler().compile(system, deadlines)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+        n_members = data.draw(st.integers(2, 5))
+        members = [
+            FleetMember(
+                label=f"m{i}",
+                system=system,
+                manager=controllers.numeric,
+                deadlines=deadlines,
+                cycles=int(rng.integers(1, 12)),
+                seed=int(rng.integers(0, 2**31)),
+                chunk_size=int(rng.integers(1, 8)),
+            )
+            for i in range(n_members)
+        ]
+        order = data.draw(st.permutations(range(n_members)))
+        forward = run_fleet(members)
+        permuted = run_fleet([members[i] for i in order])
+        for position, index in enumerate(order):
+            assert permuted[position].metrics() == forward[index].metrics()
+            assert (
+                permuted[position].quality_level_counts
+                == forward[index].quality_level_counts
+            )

@@ -196,6 +196,32 @@ class TestScenarioBatchViews:
         with pytest.raises(IndexError):
             batch[4]
 
+    def test_zero_length_slice_is_a_valid_detached_empty_batch(self):
+        """``batch[n:n]`` — the degenerate slice padding/masking code hits
+        at chunk boundaries — must be a fully usable empty sub-batch that
+        does not pin the parent tensor alive through ``.base``."""
+        _, batch = self._batch()
+        for empty in (batch[4:4], batch[2:2], batch[4:], batch[3:1]):
+            assert isinstance(empty, ScenarioBatch)
+            assert len(empty) == 0 and empty.n_cycles == 0
+            assert empty.n_actions == batch.n_actions
+            assert empty.tensor.shape == (0,) + batch.tensor.shape[1:]
+            assert not empty.tensor.flags.writeable
+            assert not np.shares_memory(empty.tensor, batch.tensor)
+            assert empty.tensor.base is None  # detached, no hidden parent ref
+            assert empty == ScenarioBatch.empty(batch.qualities, batch.n_actions)
+            assert empty.scenarios() == ()
+            clone = pickle.loads(pickle.dumps(empty))
+            assert clone == empty and len(clone) == 0
+
+    def test_zero_length_slice_of_shared_batch(self):
+        """The broadcast (stride-0) layout detaches the same way."""
+        shared = ScenarioBatch.shared(QualitySet.of_size(3), np.ones((3, 4)), 6)
+        empty = shared[6:6]
+        assert len(empty) == 0
+        assert not np.shares_memory(empty.tensor, shared.tensor)
+        assert empty == ScenarioBatch.empty(shared.qualities, shared.n_actions)
+
     def test_from_scenarios_round_trip_and_coerce(self):
         _, batch = self._batch()
         rebuilt = ScenarioBatch.from_scenarios(tuple(batch))
